@@ -1,0 +1,714 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (Section 6). One target per experiment id:
+
+     fig8a..fig8i   runtime vs |ΔG| (Exp-1), per class and dataset
+     fig8j..fig8l   runtime vs query complexity (Exp-2)
+     fig8m..fig8p   runtime vs |G| (Exp-3)
+     unit_updates   Exp-1(5): unit-update speedups (reported in prose)
+     opt_gain       batch-update optimization gain (prose summary)
+     rho_sweep      ρ-insensitivity (prose of Exp-1)
+     unbounded      Theorem 1 / Fig. 9 empirical unboundedness demo
+     micro          Bechamel micro-benchmarks, one per figure
+
+   Usage: dune exec bench/main.exe [-- options]
+     -e ID[,ID...]   run selected experiments (default: all)
+     --scale X       graph scale factor (default 0.25; paper shapes hold
+                     across scales, see EXPERIMENTS.md)
+     --reps N        repetitions averaged per point (default 1)
+     --seed N        RNG seed (default 2017)
+     --quota S       bechamel time quota per micro-bench (default 0.5s)
+
+   Absolute numbers are not comparable to the paper's (different machine,
+   language, graph sizes); the reproduction target is the shape: who wins,
+   by what factor, where the crossovers sit. *)
+
+module D = Core.Digraph
+module W = Core.Workload
+
+(* ---- configuration ------------------------------------------------------- *)
+
+type config = {
+  mutable selected : string list; (* empty = all *)
+  mutable scale : float;
+  mutable reps : int;
+  mutable seed : int;
+  mutable quota : float;
+}
+
+let cfg = { selected = []; scale = 0.25; reps = 1; seed = 2017; quota = 0.5 }
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "-e" :: v :: rest ->
+        cfg.selected <- cfg.selected @ String.split_on_char ',' v;
+        go rest
+    | "--scale" :: v :: rest ->
+        cfg.scale <- float_of_string v;
+        go rest
+    | "--reps" :: v :: rest ->
+        cfg.reps <- int_of_string v;
+        go rest
+    | "--seed" :: v :: rest ->
+        cfg.seed <- int_of_string v;
+        go rest
+    | "--quota" :: v :: rest ->
+        cfg.quota <- float_of_string v;
+        go rest
+    | a :: _ -> failwith ("unknown argument " ^ a)
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let rng_of_point tag =
+  Random.State.make [| cfg.seed; Hashtbl.hash tag |]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let avg_time reps f =
+  let total = ref 0.0 in
+  for i = 1 to reps do
+    let _, t = f i in
+    total := !total +. t
+  done;
+  !total /. float_of_int reps
+
+(* ---- table printing ------------------------------------------------------- *)
+
+let print_table ~title ~xlabel ~series rows =
+  Format.printf "@.== %s ==@." title;
+  Format.printf "%-14s" xlabel;
+  List.iter (fun s -> Format.printf "%12s" s) series;
+  Format.printf "@.";
+  List.iter
+    (fun (x, cells) ->
+      Format.printf "%-14s" x;
+      List.iter (fun v -> Format.printf "%12.4f" v) cells;
+      Format.printf "@.")
+    rows
+
+(* Where the first series stops beating the last one (paper: "outperform
+   batch even when |ΔG| is up to X%"). *)
+let report_crossover ~inc ~batch rows =
+  let last_winning = ref None in
+  List.iter
+    (fun (x, cells) ->
+      let get i = List.nth cells i in
+      if get inc < get batch then last_winning := Some x)
+    rows;
+  (match !last_winning with
+  | Some x -> Format.printf "incremental beats batch up to |ΔG| = %s@." x
+  | None -> Format.printf "incremental never beats batch at this scale@.");
+  (* Speedup at the 10%% point, if present. *)
+  match List.assoc_opt "10%" rows with
+  | Some cells ->
+      Format.printf "speedup at 10%%: %.1fx@."
+        (List.nth cells batch /. Float.max 1e-9 (List.nth cells inc))
+  | None -> ()
+
+(* ---- workload construction ------------------------------------------------ *)
+
+let instantiate profile =
+  let rng = rng_of_point ("graph", profile.W.Profiles.name) in
+  W.Profiles.instantiate ~scale:cfg.scale ~rng profile
+
+let delta_percents = [ 5; 10; 15; 20; 25; 30; 35; 40 ]
+
+(* Replay-style workload (see Updates.generate_replay): returns the base
+   graph (the master copy minus the insert pool) together with the batch. *)
+let updates_for g pct rep =
+  let rng = rng_of_point ("updates", pct, rep) in
+  let size = pct * D.n_edges g / 100 in
+  let base = D.copy g in
+  let ups = W.Updates.generate_replay ~rng base ~size () in
+  (base, ups)
+
+(* Pick a query whose answer is nontrivial but bounded, retrying seeds. *)
+let rec pick (k : int -> 'a option) (seed : int) : 'a =
+  if seed > 64 then failwith "bench: no suitable query found"
+  else match k seed with Some q -> q | None -> pick k (seed + 1)
+
+let pick_rpq g size =
+  pick
+    (fun seed ->
+      let rng = rng_of_point ("rpq", size, seed) in
+      let q = W.Queries.rpq ~rng g ~size in
+      let n = List.length (Core.Rpq.Batch.run_query g q) in
+      (* Nontrivial answers only; the batch cost is driven by the source
+         count and product reach, not the match count, so a low bar is
+         enough. *)
+      if n >= 1 && n < 200_000 then Some q else None)
+    0
+
+let pick_iso g nodes edges =
+  (* Prefer dense, small-diameter patterns as in the paper's query sets
+     ((4,6,2) etc.); progressively relax if the graph cannot supply them. *)
+  let attempt ~min_edges ~max_diam seed =
+    let rng = rng_of_point ("iso", nodes, edges, seed) in
+    match W.Queries.iso ~rng g ~nodes ~edges with
+    | None -> None
+    | Some p ->
+        if
+          Core.Iso.Pattern.n_edges p < min_edges
+          || Core.Iso.Pattern.diameter p > max_diam
+        then None
+        else
+          let n = List.length (Core.Iso.Vf2.find_all g p) in
+          if n > 0 && n < 100_000 then Some p else None
+  in
+  let rec first = function
+    | [] -> failwith "bench: no suitable iso pattern found"
+    | (min_edges, max_diam) :: rest -> (
+        let rec go seed =
+          if seed > 40 then None
+          else
+            match attempt ~min_edges ~max_diam seed with
+            | Some p -> Some p
+            | None -> go (seed + 1)
+        in
+        match go 0 with Some p -> p | None -> first rest)
+  in
+  first
+    [
+      (min edges nodes, 3);
+      (nodes - 1, 4);
+      (1, max_int);
+    ]
+
+let pick_kws g m b =
+  pick
+    (fun seed ->
+      let rng = rng_of_point ("kws", m, b, seed) in
+      let q = W.Queries.kws ~rng g ~m ~b in
+      let n = List.length (Core.Kws.Batch.run g q) in
+      if n > 0 then Some q else None)
+    0
+
+(* ---- per-class runners -----------------------------------------------------
+
+   Each runner measures, for one update batch:
+     - the grouped incremental engine (IncX),
+     - the unit-at-a-time variant (IncXn),
+     - batch recomputation (the paper's batch counterpart), which is given
+       G and ΔG and must produce Q(G ⊕ ΔG) — applying ΔG is part of its
+       timed work.
+   Session construction (the "old output" Q(G) plus auxiliary structures) is
+   not timed: the incremental problem takes them as given. *)
+
+let batch_time g ups run =
+  let g' = D.copy g in
+  snd
+    (time (fun () ->
+         D.apply_batch g' ups;
+         run g'))
+
+let kws_point g q ups =
+  let inc =
+    avg_time 1 (fun _ ->
+        let s = Core.Kws.Inc.init ~grouped:true (D.copy g) q in
+        time (fun () -> ignore (Core.Kws.Inc.apply_batch s ups)))
+  in
+  let incn =
+    avg_time 1 (fun _ ->
+        let s = Core.Kws.Inc.init ~grouped:false (D.copy g) q in
+        time (fun () -> ignore (Core.Kws.Inc.apply_batch s ups)))
+  in
+  let batch = batch_time g ups (fun g' -> ignore (Core.Kws.Batch.run g' q)) in
+  [ inc; incn; batch ]
+
+let rpq_point g q ups =
+  let a = Core.Nfa.compile (D.interner g) q in
+  let inc =
+    avg_time 1 (fun _ ->
+        let s = Core.Rpq.Inc.init ~grouped:true (D.copy g) a in
+        time (fun () -> ignore (Core.Rpq.Inc.apply_batch s ups)))
+  in
+  let incn =
+    avg_time 1 (fun _ ->
+        let s = Core.Rpq.Inc.init ~grouped:false (D.copy g) a in
+        time (fun () -> ignore (Core.Rpq.Inc.apply_batch s ups)))
+  in
+  let batch = batch_time g ups (fun g' -> ignore (Core.Rpq.Batch.run g' a)) in
+  [ inc; incn; batch ]
+
+let scc_point g ups =
+  let with_config config =
+    avg_time 1 (fun _ ->
+        let s = Core.Scc.Inc.init ~config (D.copy g) in
+        time (fun () -> ignore (Core.Scc.Inc.apply_batch s ups)))
+  in
+  let inc = with_config Core.Scc.Inc.inc_config in
+  let incn = with_config Core.Scc.Inc.incn_config in
+  let batch = batch_time g ups (fun g' -> ignore (Core.Scc.Tarjan.scc g')) in
+  let dyn = with_config Core.Scc.Inc.dyn_config in
+  [ inc; incn; batch; dyn ]
+
+let iso_point g p ups =
+  let inc =
+    avg_time 1 (fun _ ->
+        let s = Core.Iso.Inc.init ~grouped:true (D.copy g) p in
+        time (fun () -> ignore (Core.Iso.Inc.apply_batch s ups)))
+  in
+  let incn =
+    avg_time 1 (fun _ ->
+        let s = Core.Iso.Inc.init ~grouped:false (D.copy g) p in
+        time (fun () -> ignore (Core.Iso.Inc.apply_batch s ups)))
+  in
+  let batch = batch_time g ups (fun g' -> ignore (Core.Iso.Vf2.find_all g' p)) in
+  [ inc; incn; batch ]
+
+(* Average a point over cfg.reps distinct update batches. *)
+let averaged point_of pct g =
+  let acc = ref None in
+  for rep = 1 to cfg.reps do
+    let base, ups = updates_for g pct rep in
+    let cells = point_of base ups in
+    acc :=
+      Some
+        (match !acc with
+        | None -> cells
+        | Some prev -> List.map2 ( +. ) prev cells)
+  done;
+  List.map (fun x -> x /. float_of_int cfg.reps) (Option.get !acc)
+
+(* ---- Exp-1: runtime vs |ΔG| ------------------------------------------------ *)
+
+let exp1 ~figure ~cls ~profile =
+  let g = instantiate profile in
+  Format.printf "@.[%s] %s: %d nodes, %d edges@." figure profile.W.Profiles.name
+    (D.n_nodes g) (D.n_edges g);
+  let series, point =
+    match cls with
+    | `Kws ->
+        let q = pick_kws g 3 2 in
+        ([ "IncKWS"; "IncKWSn"; "BLINKS" ], fun base ups -> kws_point base q ups)
+    | `Rpq ->
+        let q = pick_rpq g 4 in
+        Format.printf "query: %s@." (Core.Regex.to_string q);
+        ([ "IncRPQ"; "IncRPQn"; "RPQNFA" ], fun base ups -> rpq_point base q ups)
+    | `Scc ->
+        ([ "IncSCC"; "IncSCCn"; "Tarjan"; "DynSCC" ], fun base ups -> scc_point base ups)
+    | `Iso ->
+        let p = pick_iso g 4 6 in
+        Format.printf "pattern: |VQ|=%d |EQ|=%d dQ=%d@."
+          (Core.Iso.Pattern.n_nodes p) (Core.Iso.Pattern.n_edges p)
+          (Core.Iso.Pattern.diameter p);
+        ([ "IncISO"; "IncISOn"; "VF2" ], fun base ups -> iso_point base p ups)
+  in
+  let rows =
+    List.map
+      (fun pct ->
+        (Printf.sprintf "%d%%" pct, averaged point pct g))
+      delta_percents
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "Fig 8(%s) — %s varying |ΔG| (%s)"
+         (String.sub figure 4 1)
+         (match cls with
+         | `Kws -> "KWS" | `Rpq -> "RPQ" | `Scc -> "SCC" | `Iso -> "ISO")
+         profile.W.Profiles.name)
+    ~xlabel:"|ΔG|/|G|" ~series rows;
+  let batch_col = match cls with `Scc -> 2 | _ -> List.length series - 1 in
+  report_crossover ~inc:0 ~batch:batch_col rows
+
+(* ---- Exp-2: query complexity ------------------------------------------------ *)
+
+let exp2_kws () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf "@.[fig8j] dbpedia-like: %d nodes, %d edges@." (D.n_nodes g)
+    (D.n_edges g);
+  let rows =
+    List.map
+      (fun (m, b) ->
+        let q = pick_kws g m b in
+        let base, ups = updates_for g 10 1 in
+        (Printf.sprintf "(%d,%d)" m b, kws_point base q ups))
+      [ (2, 1); (3, 2); (4, 3); (5, 4); (6, 5) ]
+  in
+  print_table ~title:"Fig 8(j) — KWS varying (m,b), |ΔG| = 10% (dbpedia)"
+    ~xlabel:"(m,b)" ~series:[ "IncKWS"; "IncKWSn"; "BLINKS" ] rows
+
+let exp2_rpq () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf "@.[fig8k] dbpedia-like: %d nodes, %d edges@." (D.n_nodes g)
+    (D.n_edges g);
+  let rows =
+    List.map
+      (fun size ->
+        let q = pick_rpq g size in
+        let base, ups = updates_for g 10 1 in
+        (string_of_int size, rpq_point base q ups))
+      [ 3; 4; 5; 6; 7 ]
+  in
+  print_table ~title:"Fig 8(k) — RPQ varying |Q|, |ΔG| = 10% (dbpedia)"
+    ~xlabel:"|Q|" ~series:[ "IncRPQ"; "IncRPQn"; "RPQNFA" ] rows
+
+let exp2_iso () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf "@.[fig8l] dbpedia-like: %d nodes, %d edges@." (D.n_nodes g)
+    (D.n_edges g);
+  let rows =
+    List.map
+      (fun (vq, eq) ->
+        let p = pick_iso g vq eq in
+        let base, ups = updates_for g 10 1 in
+        ( Printf.sprintf "(%d,%d,%d)" vq eq (Core.Iso.Pattern.diameter p),
+          iso_point base p ups ))
+      [ (3, 5); (4, 6); (5, 7); (6, 8); (7, 9) ]
+  in
+  print_table
+    ~title:"Fig 8(l) — ISO varying (|VQ|,|EQ|,dQ), |ΔG| = 10% (dbpedia)"
+    ~xlabel:"(V,E,d)" ~series:[ "IncISO"; "IncISOn"; "VF2" ] rows
+
+(* ---- Exp-3: runtime vs |G| --------------------------------------------------- *)
+
+let exp3 ~figure ~cls =
+  Format.printf "@.[%s] synthetic, scale sweep@." figure;
+  let full = instantiate W.Profiles.synthetic in
+  let fixed_dg = 15 * D.n_edges full / 100 in
+  let rows =
+    List.map
+      (fun factor ->
+        let rng = rng_of_point ("exp3graph", figure, factor) in
+        let g =
+          W.Profiles.instantiate
+            ~scale:(cfg.scale *. factor)
+            ~rng W.Profiles.synthetic
+        in
+        let rng = rng_of_point ("exp3ups", figure, factor) in
+        let base = D.copy g in
+        let ups =
+          W.Updates.generate_replay ~rng base
+            ~size:(min fixed_dg (D.n_edges g / 2))
+            ()
+        in
+        let cells =
+          match cls with
+          | `Kws ->
+              let q = pick_kws g 3 2 in
+              kws_point base q ups
+          | `Rpq ->
+              let q = pick_rpq g 4 in
+              rpq_point base q ups
+          | `Scc -> scc_point base ups
+          | `Iso ->
+              let p = pick_iso g 4 6 in
+              iso_point base p ups
+        in
+        (Printf.sprintf "%.1f" factor, cells))
+      [ 0.2; 0.4; 0.6; 0.8; 1.0 ]
+  in
+  let series =
+    match cls with
+    | `Kws -> [ "IncKWS"; "IncKWSn"; "BLINKS" ]
+    | `Rpq -> [ "IncRPQ"; "IncRPQn"; "RPQNFA" ]
+    | `Scc -> [ "IncSCC"; "IncSCCn"; "Tarjan"; "DynSCC" ]
+    | `Iso -> [ "IncISO"; "IncISOn"; "VF2" ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "Fig 8(%s) — %s varying |G| (synthetic, |ΔG| fixed)"
+         (String.sub figure 4 1)
+         (match cls with
+         | `Kws -> "KWS" | `Rpq -> "RPQ" | `Scc -> "SCC" | `Iso -> "ISO"))
+    ~xlabel:"scale" ~series rows
+
+(* ---- unit updates (Exp-1(5)) -------------------------------------------------- *)
+
+let unit_updates () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf "@.[unit_updates] dbpedia-like: %d nodes, %d edges@."
+    (D.n_nodes g) (D.n_edges g);
+  let base = D.copy g in
+  let units =
+    let rng = rng_of_point "unit_updates" in
+    W.Updates.generate_replay ~rng base ~size:20 ()
+  in
+  let g = base in
+  let bench_units inc_time batch_time =
+    let ti = ref 0.0 and tb = ref 0.0 and k = ref 0 in
+    List.iter
+      (fun up ->
+        ti := !ti +. inc_time up;
+        tb := !tb +. batch_time up;
+        incr k)
+      units;
+    (!ti /. float_of_int !k, !tb /. float_of_int !k)
+  in
+  let row name (inc, batch) =
+    Format.printf "%-8s avg unit-update: inc %.6fs  batch %.6fs  speedup %.0fx@."
+      name inc batch (batch /. Float.max 1e-9 inc)
+  in
+  (* KWS *)
+  let q = pick_kws g 3 2 in
+  let s = Core.Kws.Inc.init (D.copy g) q in
+  row "KWS"
+    (bench_units
+       (fun up -> snd (time (fun () -> ignore (Core.Kws.Inc.apply_batch s [ up ]))))
+       (fun _ -> snd (time (fun () -> ignore (Core.Kws.Batch.run (Core.Kws.Inc.graph s) q)))));
+  (* RPQ *)
+  let q = pick_rpq g 4 in
+  let a = Core.Nfa.compile (D.interner g) q in
+  let s = Core.Rpq.Inc.init (D.copy g) a in
+  row "RPQ"
+    (bench_units
+       (fun up -> snd (time (fun () -> ignore (Core.Rpq.Inc.apply_batch s [ up ]))))
+       (fun _ -> snd (time (fun () -> ignore (Core.Rpq.Batch.run (Core.Rpq.Inc.graph s) a)))));
+  (* SCC, with the DynSCC comparison the paper quotes (5.7x). *)
+  let s = Core.Scc.Inc.init (D.copy g) in
+  let d = Core.Scc.Inc.init ~config:Core.Scc.Inc.dyn_config (D.copy g) in
+  let inc, batch =
+    bench_units
+      (fun up -> snd (time (fun () -> ignore (Core.Scc.Inc.apply_batch s [ up ]))))
+      (fun _ -> snd (time (fun () -> ignore (Core.Scc.Tarjan.scc (Core.Scc.Inc.graph s)))))
+  in
+  row "SCC" (inc, batch);
+  let dyn =
+    let t = ref 0.0 in
+    List.iter
+      (fun up ->
+        t := !t +. snd (time (fun () -> ignore (Core.Scc.Inc.apply_batch d [ up ]))))
+      units;
+    !t /. float_of_int (List.length units)
+  in
+  Format.printf "         DynSCC avg %.6fs (IncSCC is %.1fx faster)@." dyn
+    (dyn /. Float.max 1e-9 inc);
+  (* ISO *)
+  let p = pick_iso g 4 6 in
+  let s = Core.Iso.Inc.init (D.copy g) p in
+  row "ISO"
+    (bench_units
+       (fun up -> snd (time (fun () -> ignore (Core.Iso.Inc.apply_batch s [ up ]))))
+       (fun _ -> snd (time (fun () -> ignore (Core.Iso.Vf2.find_all (Core.Iso.Inc.graph s) p)))))
+
+(* ---- optimization gain summary (prose) ----------------------------------------- *)
+
+let opt_gain () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf
+    "@.[opt_gain] IncX vs IncXn at |ΔG| = 10%% (dbpedia-like, %d edges)@."
+    (D.n_edges g);
+  let base, ups = updates_for g 10 1 in
+  let ratio name cells =
+    match cells with
+    | inc :: incn :: _ ->
+        Format.printf "%-6s IncX %.4fs  IncXn %.4fs  gain %.2fx@." name inc incn
+          (incn /. Float.max 1e-9 inc)
+    | _ -> ()
+  in
+  ratio "KWS" (kws_point base (pick_kws g 3 2) ups);
+  ratio "RPQ" (rpq_point base (pick_rpq g 4) ups);
+  ratio "SCC" (scc_point base ups);
+  ratio "ISO" (iso_point base (pick_iso g 4 6) ups)
+
+(* ---- ρ sweep (prose) ------------------------------------------------------------ *)
+
+let rho_sweep () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf "@.[rho_sweep] insert/delete ratio, |ΔG| = 10%% (dbpedia-like)@.";
+  let size = D.n_edges g / 10 in
+  let kq = pick_kws g 3 2 in
+  let rq = pick_rpq g 4 in
+  let ra = Core.Nfa.compile (D.interner g) rq in
+  let ip = pick_iso g 4 6 in
+  let rows =
+    List.map
+      (fun rho ->
+        let rng = rng_of_point ("rho", int_of_float (rho *. 10.)) in
+        let g = D.copy g in
+        let ups = W.Updates.generate_replay ~rng g ~size ~ratio:rho () in
+        let t_kws =
+          let s = Core.Kws.Inc.init (D.copy g) kq in
+          snd (time (fun () -> ignore (Core.Kws.Inc.apply_batch s ups)))
+        in
+        let t_rpq =
+          let s = Core.Rpq.Inc.init (D.copy g) ra in
+          snd (time (fun () -> ignore (Core.Rpq.Inc.apply_batch s ups)))
+        in
+        let t_scc =
+          let s = Core.Scc.Inc.init (D.copy g) in
+          snd (time (fun () -> ignore (Core.Scc.Inc.apply_batch s ups)))
+        in
+        let t_iso =
+          let s = Core.Iso.Inc.init (D.copy g) ip in
+          snd (time (fun () -> ignore (Core.Iso.Inc.apply_batch s ups)))
+        in
+        (Printf.sprintf "ρ=%.1f" rho, [ t_kws; t_rpq; t_scc; t_iso ]))
+      [ 0.2; 1.0; 5.0 ]
+  in
+  print_table ~title:"ρ-insensitivity of the incremental algorithms"
+    ~xlabel:"ratio" ~series:[ "IncKWS"; "IncRPQ"; "IncSCC"; "IncISO" ] rows
+
+(* ---- unboundedness demo ----------------------------------------------------------- *)
+
+let unbounded () =
+  Format.printf
+    "@.[unbounded] Fig. 9 gadget: work for the output-silent Δ1 vs |CHANGED|@.";
+  Format.printf "%-10s%12s%14s@." "cycle n" "|CHANGED|" "inc work";
+  List.iter
+    (fun p ->
+      Format.printf "%-10d%12d%14d@." p.Core.Theory.Gadget.n
+        p.Core.Theory.Gadget.changed p.Core.Theory.Gadget.inc_work)
+    (Core.Theory.Gadget.demo ~cycles:[ 64; 128; 256; 512; 1024 ])
+
+(* ---- bechamel micro-benchmarks ------------------------------------------------------ *)
+
+(* Each figure gets one Test.make of its headline incremental kernel on a
+   small fixed workload. The kernel applies a batch and then its inverse,
+   returning the session to its original answer, so repeated runs measure a
+   stable quantity. *)
+
+let inverse_updates ups =
+  List.rev_map
+    (function
+      | D.Insert (u, v) -> D.Delete (u, v)
+      | D.Delete (u, v) -> D.Insert (u, v))
+    ups
+
+let micro () =
+  let open Bechamel in
+  let rng = Random.State.make [| cfg.seed |] in
+  let g =
+    W.Profiles.instantiate ~scale:0.02 ~rng W.Profiles.dbpedia_like
+  in
+  let gs = W.Profiles.instantiate ~scale:0.02 ~rng W.Profiles.synthetic in
+  let gl = W.Profiles.instantiate ~scale:0.02 ~rng W.Profiles.livej_like in
+  (* Mutates its argument into the base graph (replay methodology). *)
+  let mk_ups graph =
+    W.Updates.generate_replay ~rng graph ~size:(D.n_edges graph / 20) ()
+  in
+  let roundtrip apply ups =
+    let inv = inverse_updates ups in
+    fun () ->
+      apply ups;
+      apply inv
+  in
+  let kws_test name graph =
+    let q = pick_kws graph 3 2 in
+    let graph = D.copy graph in
+    let ups = mk_ups graph in
+    let s = Core.Kws.Inc.init graph q in
+    Test.make ~name
+      (Staged.stage (roundtrip (fun u -> ignore (Core.Kws.Inc.apply_batch s u)) ups))
+  in
+  let rpq_test name graph =
+    let q = pick_rpq graph 4 in
+    let graph = D.copy graph in
+    let ups = mk_ups graph in
+    let s = Core.Rpq.Inc.create graph q in
+    Test.make ~name
+      (Staged.stage (roundtrip (fun u -> ignore (Core.Rpq.Inc.apply_batch s u)) ups))
+  in
+  let scc_test name graph =
+    let graph = D.copy graph in
+    let ups = mk_ups graph in
+    let s = Core.Scc.Inc.init graph in
+    Test.make ~name
+      (Staged.stage (roundtrip (fun u -> ignore (Core.Scc.Inc.apply_batch s u)) ups))
+  in
+  let iso_test name graph =
+    let p = pick_iso graph 4 6 in
+    let graph = D.copy graph in
+    let ups = mk_ups graph in
+    let s = Core.Iso.Inc.init graph p in
+    Test.make ~name
+      (Staged.stage (roundtrip (fun u -> ignore (Core.Iso.Inc.apply_batch s u)) ups))
+  in
+  let tests =
+    Test.make_grouped ~name:"figures"
+      [
+        kws_test "fig8a:inc-kws-dbpedia" g;
+        rpq_test "fig8b:inc-rpq-dbpedia" g;
+        scc_test "fig8c:inc-scc-dbpedia" g;
+        iso_test "fig8d:inc-iso-dbpedia" g;
+        kws_test "fig8e:inc-kws-livej" gl;
+        rpq_test "fig8f:inc-rpq-livej" gl;
+        scc_test "fig8g:inc-scc-livej" gl;
+        iso_test "fig8h:inc-iso-livej" gl;
+        scc_test "fig8i:inc-scc-synthetic" gs;
+        kws_test "fig8j:kws-query-sweep" g;
+        rpq_test "fig8k:rpq-query-sweep" g;
+        iso_test "fig8l:iso-query-sweep" g;
+        kws_test "fig8m:kws-scale" gs;
+        rpq_test "fig8n:rpq-scale" gs;
+        scc_test "fig8o:scc-scale" gs;
+        iso_test "fig8p:iso-scale" gs;
+      ]
+  in
+  Format.printf "@.[micro] bechamel, quota %.2fs per test@." cfg.quota;
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg' =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second cfg.quota) ~kde:(Some 1000)
+        ()
+    in
+    Benchmark.all cfg' instances tests
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name res ->
+      match Bechamel.Analyze.OLS.estimates res with
+      | Some [ est ] ->
+          Format.printf "%-28s %12.3f ms/run@." name (est /. 1e6)
+      | _ -> Format.printf "%-28s (no estimate)@." name)
+    results
+
+(* ---- experiment registry -------------------------------------------------------------- *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("fig8a", fun () -> exp1 ~figure:"fig8a" ~cls:`Kws ~profile:W.Profiles.dbpedia_like);
+    ("fig8b", fun () -> exp1 ~figure:"fig8b" ~cls:`Rpq ~profile:W.Profiles.dbpedia_like);
+    ("fig8c", fun () -> exp1 ~figure:"fig8c" ~cls:`Scc ~profile:W.Profiles.dbpedia_like);
+    ("fig8d", fun () -> exp1 ~figure:"fig8d" ~cls:`Iso ~profile:W.Profiles.dbpedia_like);
+    ("fig8e", fun () -> exp1 ~figure:"fig8e" ~cls:`Kws ~profile:W.Profiles.livej_like);
+    ("fig8f", fun () -> exp1 ~figure:"fig8f" ~cls:`Rpq ~profile:W.Profiles.livej_like);
+    ("fig8g", fun () -> exp1 ~figure:"fig8g" ~cls:`Scc ~profile:W.Profiles.livej_like);
+    ("fig8h", fun () -> exp1 ~figure:"fig8h" ~cls:`Iso ~profile:W.Profiles.livej_like);
+    ("fig8i", fun () -> exp1 ~figure:"fig8i" ~cls:`Scc ~profile:W.Profiles.synthetic);
+    ("fig8j", exp2_kws);
+    ("fig8k", exp2_rpq);
+    ("fig8l", exp2_iso);
+    ("fig8m", fun () -> exp3 ~figure:"fig8m" ~cls:`Kws);
+    ("fig8n", fun () -> exp3 ~figure:"fig8n" ~cls:`Rpq);
+    ("fig8o", fun () -> exp3 ~figure:"fig8o" ~cls:`Scc);
+    ("fig8p", fun () -> exp3 ~figure:"fig8p" ~cls:`Iso);
+    ("unit_updates", unit_updates);
+    ("opt_gain", opt_gain);
+    ("rho_sweep", rho_sweep);
+    ("unbounded", unbounded);
+    ("micro", micro);
+  ]
+
+let () =
+  parse_args ();
+  let wanted =
+    match cfg.selected with
+    | [] -> List.map fst experiments
+    | sel -> sel
+  in
+  Format.printf
+    "incgraph bench — scale %.2f, reps %d, seed %d@.reproducing: %s@."
+    cfg.scale cfg.reps cfg.seed
+    (String.concat ", " wanted);
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> (
+          match time f with
+          | (), t -> Format.printf "[%s done in %.1fs]@." id t
+          | exception e ->
+              Format.printf "[%s FAILED: %s]@." id (Printexc.to_string e))
+      | None -> Format.printf "unknown experiment %s (skipped)@." id)
+    wanted;
+  Format.printf "@.all experiments complete.@."

@@ -1,0 +1,247 @@
+(* incgraph — command-line front end.
+
+   Subcommands:
+     generate   produce a synthetic labeled graph (profiles of Section 6)
+     query      answer one query with the batch algorithm
+     stream     maintain a query incrementally over a random update stream
+
+   Examples:
+     incgraph generate -p dbpedia -s 0.1 -o kg.txt
+     incgraph query -g kg.txt rpq 'l1 . l2* . l3'
+     incgraph query -g kg.txt kws -b 2 actor award
+     incgraph query -g kg.txt scc
+     incgraph stream -g kg.txt --batches 5 --size 500 kws -b 2 actor award *)
+
+open Cmdliner
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ---- common arguments --------------------------------------------------- *)
+
+let graph_arg =
+  let doc = "Graph file in the incgraph text format (see Core.Io)." in
+  Arg.(required & opt (some file) None & info [ "g"; "graph" ] ~doc ~docv:"FILE")
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 2017 & info [ "seed" ] ~doc ~docv:"N")
+
+let load path =
+  let g = Core.Io.load path in
+  Format.printf "loaded %s: %d nodes, %d edges@." path (Core.Digraph.n_nodes g)
+    (Core.Digraph.n_edges g);
+  g
+
+(* ---- generate ------------------------------------------------------------ *)
+
+let profile_conv =
+  let parse = function
+    | "dbpedia" -> Ok Core.Workload.Profiles.dbpedia_like
+    | "livej" -> Ok Core.Workload.Profiles.livej_like
+    | "synthetic" -> Ok Core.Workload.Profiles.synthetic
+    | s -> Error (`Msg (Printf.sprintf "unknown profile %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf p.Core.Workload.Profiles.name)
+
+let generate_cmd =
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv Core.Workload.Profiles.synthetic
+      & info [ "p"; "profile" ] ~doc:"Profile: dbpedia, livej or synthetic."
+          ~docv:"NAME")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "s"; "scale" ] ~doc:"Scale factor for the profile." ~docv:"X")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~doc:"Output file." ~docv:"FILE")
+  in
+  let run profile scale out seed =
+    let rng = Random.State.make [| seed |] in
+    let g = Core.Workload.Profiles.instantiate ~scale ~rng profile in
+    Core.Io.save out g;
+    Format.printf "wrote %s: %d nodes, %d edges, %d labels@." out
+      (Core.Digraph.n_nodes g) (Core.Digraph.n_edges g)
+      (Core.Interner.size (Core.Digraph.interner g))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic labeled graph.")
+    Term.(const run $ profile $ scale $ out $ seed_arg)
+
+(* ---- query class arguments ------------------------------------------------ *)
+
+type qspec =
+  | Qkws of Core.Kws.Batch.query
+  | Qrpq of Core.Regex.t
+  | Qscc
+  | Qiso of string list * (int * int) list
+
+let qspec_of ~cls ~bound ~args =
+  match (cls, args) with
+  | "scc", [] -> Ok Qscc
+  | "scc", _ -> Error "scc takes no query arguments"
+  | "kws", (_ :: _ as kws) -> Ok (Qkws { Core.Kws.Batch.keywords = kws; bound })
+  | "kws", [] -> Error "kws needs keyword arguments"
+  | "rpq", [ expr ] -> (
+      match Core.Regex.parse expr with
+      | Ok q -> Ok (Qrpq q)
+      | Error e -> Error ("bad regex: " ^ e))
+  | "rpq", _ -> Error "rpq needs exactly one regex argument"
+  | "iso", (_ :: _ as spec) ->
+      (* labels then edges: l1 l2 l3 0-1 1-2 2-0 *)
+      let labels, edges =
+        List.partition (fun s -> not (String.contains s '-')) spec
+      in
+      let parse_edge s =
+        match String.split_on_char '-' s with
+        | [ a; b ] -> (int_of_string a, int_of_string b)
+        | _ -> failwith "bad edge"
+      in
+      (try Ok (Qiso (labels, List.map parse_edge edges))
+       with _ -> Error "iso edges look like 0-1 1-2")
+  | "iso", [] -> Error "iso needs labels and edges"
+  | c, _ -> Error (Printf.sprintf "unknown query class %S" c)
+
+let cls_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CLASS" ~doc:"Query class: kws, rpq, scc or iso.")
+
+let qargs_arg =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"QUERY"
+       ~doc:"Query arguments (keywords, regex, or pattern labels/edges).")
+
+let bound_arg =
+  Arg.(value & opt int 2 & info [ "b"; "bound" ] ~doc:"KWS hop bound." ~docv:"B")
+
+(* ---- query ----------------------------------------------------------------- *)
+
+let run_query g = function
+  | Qkws q ->
+      let roots, t = time (fun () -> Core.Kws.Batch.run g q) in
+      Format.printf "KWS: %d match roots in %.3fs@." (List.length roots) t
+  | Qrpq q ->
+      let pairs, t = time (fun () -> Core.Rpq.Batch.run_query g q) in
+      Format.printf "RPQ: %d match pairs in %.3fs@." (List.length pairs) t
+  | Qscc ->
+      let comps, t = time (fun () -> Core.Scc.Tarjan.scc g) in
+      let giant = List.fold_left (fun a c -> max a (List.length c)) 0 comps in
+      Format.printf "SCC: %d components (largest %d) in %.3fs@."
+        (List.length comps) giant t
+  | Qiso (labels, edges) ->
+      let p = Core.Iso.Pattern.create ~labels ~edges in
+      let ms, t = time (fun () -> Core.Iso.Vf2.find_all g p) in
+      Format.printf "ISO: %d matches in %.3fs@." (List.length ms) t
+
+let query_cmd =
+  let run path cls bound args =
+    match qspec_of ~cls ~bound ~args with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
+        run_query (load path) spec;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer one query with the batch algorithm.")
+    Term.(ret (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg))
+
+(* ---- stream ----------------------------------------------------------------- *)
+
+let stream_cmd =
+  let batches =
+    Arg.(value & opt int 5 & info [ "batches" ] ~doc:"Number of update batches.")
+  in
+  let size =
+    Arg.(value & opt int 100 & info [ "size" ] ~doc:"Unit updates per batch.")
+  in
+  let ratio =
+    Arg.(value & opt float 1.0 & info [ "ratio" ] ~doc:"Insert/delete ratio ρ.")
+  in
+  let run path cls bound args batches size ratio seed =
+    match qspec_of ~cls ~bound ~args with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
+        let g = load path in
+        let rng = Random.State.make [| seed |] in
+        let step describe update =
+          for round = 1 to batches do
+            let ups = Core.Workload.Updates.generate ~rng g ~size ~ratio () in
+            Core.Digraph.apply_batch g ups (* keep generator in sync *);
+            let summary, t = time (fun () -> update ups) in
+            Format.printf "round %d: |ΔG|=%d  %s  (%.3fs)@." round
+              (List.length ups) summary t
+          done;
+          Format.printf "final: %s@." (describe ())
+        in
+        (match spec with
+        | Qkws q ->
+            let s = Core.Kws_session.create (Core.Digraph.copy g) q in
+            step
+              (fun () ->
+                Printf.sprintf "%d roots"
+                  (List.length (Core.Kws_session.answer s)))
+              (fun ups ->
+                let d = Core.Kws_session.update s ups in
+                Printf.sprintf "roots +%d/-%d"
+                  (List.length d.Core.Kws.Inc.added)
+                  (List.length d.Core.Kws.Inc.removed))
+        | Qrpq q ->
+            let s = Core.Rpq_session.create (Core.Digraph.copy g) q in
+            step
+              (fun () ->
+                Printf.sprintf "%d pairs"
+                  (List.length (Core.Rpq_session.answer s)))
+              (fun ups ->
+                let d = Core.Rpq_session.update s ups in
+                Printf.sprintf "pairs +%d/-%d"
+                  (List.length d.Core.Rpq.Inc.added)
+                  (List.length d.Core.Rpq.Inc.removed))
+        | Qscc ->
+            let s = Core.Scc_session.create (Core.Digraph.copy g) () in
+            step
+              (fun () ->
+                Printf.sprintf "%d components"
+                  (List.length (Core.Scc_session.answer s)))
+              (fun ups ->
+                let d = Core.Scc_session.update s ups in
+                Printf.sprintf "components -%d/+%d"
+                  (List.length d.Core.Scc.Inc.removed)
+                  (List.length d.Core.Scc.Inc.added))
+        | Qiso (labels, edges) ->
+            let p = Core.Iso.Pattern.create ~labels ~edges in
+            let s = Core.Iso_session.create (Core.Digraph.copy g) p in
+            step
+              (fun () ->
+                Printf.sprintf "%d matches"
+                  (List.length (Core.Iso_session.answer s)))
+              (fun ups ->
+                let d = Core.Iso_session.update s ups in
+                Printf.sprintf "matches +%d/-%d"
+                  (List.length d.Core.Iso.Inc.added)
+                  (List.length d.Core.Iso.Inc.removed)));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Maintain a query incrementally over a random update stream.")
+    Term.(
+      ret
+        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
+       $ size $ ratio $ seed_arg))
+
+let () =
+  let info =
+    Cmd.info "incgraph" ~version:"1.0.0"
+      ~doc:"Incremental graph computations: doable and undoable (SIGMOD'17)."
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; query_cmd; stream_cmd ]))

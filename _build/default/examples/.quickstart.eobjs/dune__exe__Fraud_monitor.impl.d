@@ -1,0 +1,1 @@
+examples/fraud_monitor.ml: Array Core Format Ig_iso List Random

@@ -1,0 +1,1 @@
+examples/knowledge_graph.ml: Core Float Format List Random Unix

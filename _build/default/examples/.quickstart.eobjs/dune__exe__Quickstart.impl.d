@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Dump Fmt Format List

@@ -1,0 +1,1 @@
+examples/social_network.ml: Core Format List Random String Unix

@@ -1,0 +1,131 @@
+(** incgraph — incremental graph computations, doable and undoable.
+
+    The public entry point of the library, reproducing Fan, Hu & Tian,
+    {e Incremental Graph Computations: Doable and Undoable} (SIGMOD 2017).
+
+    Four query classes are supported, each with a batch algorithm and an
+    incremental engine carrying the paper's performance guarantee:
+
+    - {!Kws} — keyword search, {e localizable} (cost in the b-neighborhood
+      of the updates);
+    - {!Iso} — subgraph isomorphism, {e localizable} (d_Q-neighborhood);
+    - {!Rpq} — regular path queries, {e bounded relative to} the NFA batch
+      algorithm;
+    - {!Scc} — strongly connected components, {e bounded relative to}
+      Tarjan's algorithm.
+
+    {!Theory} holds the machinery of the paper's impossibility results
+    (SSRP, Δ-reductions, the Figure 9 gadget), and {!Workload} the
+    generators driving the experimental reproduction.
+
+    Each query class also implements the uniform {!module-type-Session}
+    shape: build a session from a graph and a query, push update batches,
+    read ΔO back. The substrate modules ({!Digraph}, {!Regex}, …) are
+    re-exported so downstream users need only this library. *)
+
+(** {1 Substrate} *)
+
+module Digraph = Ig_graph.Digraph
+module Interner = Ig_graph.Interner
+module Traverse = Ig_graph.Traverse
+module Io = Ig_graph.Io
+module Pqueue = Ig_graph.Pqueue
+module Rank = Ig_graph.Rank
+module Regex = Ig_nfa.Regex
+module Nfa = Ig_nfa.Nfa
+
+(** {1 Query classes} *)
+
+module Rpq : sig
+  module Batch = Ig_rpq.Batch
+  module Inc = Ig_rpq.Inc_rpq
+  module Pgraph = Ig_rpq.Pgraph
+end
+
+module Scc : sig
+  module Tarjan = Ig_scc.Tarjan
+  module Inc = Ig_scc.Inc_scc
+end
+
+module Kws : sig
+  module Batch = Ig_kws.Batch
+  module Inc = Ig_kws.Inc_kws
+end
+
+module Iso : sig
+  module Pattern = Ig_iso.Pattern
+  module Vf2 = Ig_iso.Vf2
+  module Inc = Ig_iso.Inc_iso
+end
+
+module Sim : sig
+  module Batch = Ig_sim.Sim
+  module Inc = Ig_sim.Inc_sim
+end
+(** Graph simulation — the semi-bounded query class of the paper's related
+    work [17], included as an extension baseline. *)
+
+(** {1 Theory and workloads} *)
+
+module Theory : sig
+  module Ssrp = Ig_theory.Ssrp
+  module Reduction = Ig_theory.Reduction
+  module Gadget = Ig_theory.Gadget
+end
+
+module Workload : sig
+  module Generate = Ig_workload.Generate
+  module Profiles = Ig_workload.Profiles
+  module Updates = Ig_workload.Updates
+  module Queries = Ig_workload.Queries
+end
+
+(** {1 Uniform sessions} *)
+
+(** The common shape of the four incremental engines: create once with the
+    batch algorithm, then trade update batches for output deltas. *)
+module type Session = sig
+  type t
+  type query
+  type answer
+  type delta
+
+  val create : Digraph.t -> query -> t
+  (** Runs the batch algorithm once; the session owns the graph. *)
+
+  val update : t -> Digraph.update list -> delta
+  (** Apply ΔG, return ΔO. *)
+
+  val answer : t -> answer
+  (** The current Q(G). *)
+
+  val graph : t -> Digraph.t
+end
+
+module Kws_session :
+  Session
+    with type query = Ig_kws.Batch.query
+     and type answer = Digraph.node list
+     and type delta = Ig_kws.Inc_kws.delta
+     and type t = Ig_kws.Inc_kws.t
+
+module Rpq_session :
+  Session
+    with type query = Regex.t
+     and type answer = (Digraph.node * Digraph.node) list
+     and type delta = Ig_rpq.Inc_rpq.delta
+     and type t = Ig_rpq.Inc_rpq.t
+
+module Scc_session :
+  Session
+    with type query = unit
+     and type answer = Digraph.node list list
+     and type delta = Ig_scc.Inc_scc.delta
+     and type t = Ig_scc.Inc_scc.t
+
+module Iso_session :
+  Session
+    with type query = Ig_iso.Pattern.t
+     and type answer = Ig_iso.Vf2.mapping list
+     and type delta = Ig_iso.Inc_iso.delta
+     and type t = Ig_iso.Inc_iso.t

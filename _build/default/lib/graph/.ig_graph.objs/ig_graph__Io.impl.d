@@ -1,0 +1,1 @@
+lib/graph/io.ml: Digraph Format Fun Hashtbl In_channel List Printf Seq String

@@ -1,0 +1,1 @@
+lib/graph/pqueue.mli: Hashtbl

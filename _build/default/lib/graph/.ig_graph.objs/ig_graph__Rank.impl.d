@@ -1,0 +1,1 @@
+lib/graph/rank.ml: Hashtbl Int List Map

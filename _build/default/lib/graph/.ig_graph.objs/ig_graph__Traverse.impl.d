@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Digraph Hashtbl List Queue Stack

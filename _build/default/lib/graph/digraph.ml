@@ -1,0 +1,147 @@
+type node = int
+type label = Interner.symbol
+
+type update = Insert of node * node | Delete of node * node
+
+type t = {
+  interner : Interner.t;
+  labels : label Vec.t;
+  succ : (node, unit) Hashtbl.t Vec.t;
+  pred : (node, unit) Hashtbl.t Vec.t;
+  by_label : (label, node list) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create ?(hint = 16) () =
+  {
+    interner = Interner.create ();
+    labels = Vec.create ();
+    succ = Vec.create ();
+    pred = Vec.create ();
+    by_label = Hashtbl.create (max 16 hint);
+    n_edges = 0;
+  }
+
+let interner g = g.interner
+let intern_label g s = Interner.intern g.interner s
+
+let n_nodes g = Vec.length g.labels
+let n_edges g = g.n_edges
+
+let mem_node g v = v >= 0 && v < n_nodes g
+
+let check_node g v =
+  if not (mem_node g v) then invalid_arg "Digraph: unknown node"
+
+let label g v = check_node g v; Vec.get g.labels v
+let label_name g v = Interner.name g.interner (label g v)
+
+let add_node_sym g l =
+  let v = Vec.push g.labels l in
+  ignore (Vec.push g.succ (Hashtbl.create 4));
+  ignore (Vec.push g.pred (Hashtbl.create 4));
+  let old = Option.value ~default:[] (Hashtbl.find_opt g.by_label l) in
+  Hashtbl.replace g.by_label l (v :: old);
+  v
+
+let add_node g s = add_node_sym g (intern_label g s)
+
+let mem_edge g u v =
+  mem_node g u && mem_node g v && Hashtbl.mem (Vec.get g.succ u) v
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  let su = Vec.get g.succ u in
+  if Hashtbl.mem su v then false
+  else begin
+    Hashtbl.replace su v ();
+    Hashtbl.replace (Vec.get g.pred v) u ();
+    g.n_edges <- g.n_edges + 1;
+    true
+  end
+
+let remove_edge g u v =
+  check_node g u;
+  check_node g v;
+  let su = Vec.get g.succ u in
+  if not (Hashtbl.mem su v) then false
+  else begin
+    Hashtbl.remove su v;
+    Hashtbl.remove (Vec.get g.pred v) u;
+    g.n_edges <- g.n_edges - 1;
+    true
+  end
+
+let apply g = function
+  | Insert (u, v) -> add_edge g u v
+  | Delete (u, v) -> remove_edge g u v
+
+let apply_batch g us = List.iter (fun u -> ignore (apply g u)) us
+
+let out_degree g v = check_node g v; Hashtbl.length (Vec.get g.succ v)
+let in_degree g v = check_node g v; Hashtbl.length (Vec.get g.pred v)
+
+let iter_nodes f g =
+  for v = 0 to n_nodes g - 1 do f v done
+
+let iter_succ f g v =
+  check_node g v;
+  Hashtbl.iter (fun w () -> f w) (Vec.get g.succ v)
+
+let iter_pred f g v =
+  check_node g v;
+  Hashtbl.iter (fun u () -> f u) (Vec.get g.pred v)
+
+let iter_edges f g = iter_nodes (fun u -> iter_succ (fun v -> f u v) g u) g
+
+let succ_list g v =
+  let acc = ref [] in
+  iter_succ (fun w -> acc := w :: !acc) g v;
+  !acc
+
+let pred_list g v =
+  let acc = ref [] in
+  iter_pred (fun u -> acc := u :: !acc) g v;
+  !acc
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  !acc
+
+let fold_nodes f g acc =
+  let acc = ref acc in
+  iter_nodes (fun v -> acc := f v !acc) g;
+  !acc
+
+let nodes_with_label g l =
+  Option.value ~default:[] (Hashtbl.find_opt g.by_label l)
+
+let copy g =
+  let copy_adj tbl =
+    let v = Vec.create () in
+    Vec.iter (fun h -> ignore (Vec.push v (Hashtbl.copy h))) tbl;
+    v
+  in
+  let labels = Vec.create () in
+  Vec.iter (fun l -> ignore (Vec.push labels l)) g.labels;
+  {
+    interner = g.interner;
+    labels;
+    succ = copy_adj g.succ;
+    pred = copy_adj g.pred;
+    by_label = Hashtbl.copy g.by_label;
+    n_edges = g.n_edges;
+  }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d nodes, %d edges@," (n_nodes g)
+    (n_edges g);
+  if n_nodes g <= 40 then begin
+    iter_nodes
+      (fun v -> Format.fprintf ppf "  %d:%s@," v (label_name g v))
+      g;
+    iter_edges (fun u v -> Format.fprintf ppf "  %d -> %d@," u v) g
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,82 @@
+(** Mutable node-labeled directed graphs.
+
+    This is the substrate shared by every query class in the library: a
+    directed graph [G = (V, E, l)] in the sense of the paper (Section 2),
+    where nodes carry a label drawn from a finite alphabet and updates are
+    edge insertions and deletions.
+
+    Nodes are dense integer identifiers allocated by {!add_node}; labels are
+    interned strings (see {!Interner}). Both successor and predecessor
+    adjacency are maintained, with O(1) expected edge insertion, deletion and
+    membership. Nodes are never removed (the paper's update model is
+    edge-only; fresh nodes may arrive together with inserted edges). *)
+
+type node = int
+type label = Interner.symbol
+
+type update =
+  | Insert of node * node  (** [insert e] — add edge [(u, v)]. *)
+  | Delete of node * node  (** [delete e] — remove edge [(u, v)]. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : ?hint:int -> unit -> t
+(** An empty graph. [hint] pre-sizes internal tables for [hint] nodes. *)
+
+val copy : t -> t
+(** Deep copy (shares the interner). *)
+
+val add_node : t -> string -> node
+(** Add a fresh node with the given label string. *)
+
+val add_node_sym : t -> label -> node
+(** Add a fresh node with an already-interned label. *)
+
+val add_edge : t -> node -> node -> bool
+(** [add_edge g u v] inserts edge [(u,v)]. Returns [false] if it was already
+    present (the graph is a simple digraph; parallel edges collapse).
+    Self-loops are allowed. *)
+
+val remove_edge : t -> node -> node -> bool
+(** Returns [false] if the edge was absent. *)
+
+val apply : t -> update -> bool
+(** Apply one unit update; [false] if it was a no-op. *)
+
+val apply_batch : t -> update list -> unit
+
+(** {1 Labels} *)
+
+val interner : t -> Interner.t
+val intern_label : t -> string -> label
+val label : t -> node -> label
+val label_name : t -> node -> string
+
+(** {1 Inspection} *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val mem_node : t -> node -> bool
+val mem_edge : t -> node -> node -> bool
+val out_degree : t -> node -> int
+val in_degree : t -> node -> int
+
+val iter_nodes : (node -> unit) -> t -> unit
+val iter_succ : (node -> unit) -> t -> node -> unit
+val iter_pred : (node -> unit) -> t -> node -> unit
+val iter_edges : (node -> node -> unit) -> t -> unit
+
+val succ_list : t -> node -> node list
+val pred_list : t -> node -> node list
+val edges : t -> (node * node) list
+
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+
+val nodes_with_label : t -> label -> node list
+(** All nodes carrying the given label (maintained index; O(result)). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: node count, edge count, and the edge list for small
+    graphs. *)

@@ -1,0 +1,22 @@
+type symbol = int
+
+type t = { by_name : (string, int) Hashtbl.t; names : string Vec.t }
+
+let create () = { by_name = Hashtbl.create 64; names = Vec.create () }
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some id -> id
+  | None ->
+      let id = Vec.push t.names s in
+      Hashtbl.add t.by_name s id;
+      id
+
+let find t s = Hashtbl.find_opt t.by_name s
+
+let name t id =
+  if id < 0 || id >= Vec.length t.names then
+    invalid_arg "Interner.name: unknown symbol"
+  else Vec.get t.names id
+
+let size t = Vec.length t.names

@@ -1,0 +1,25 @@
+(** String interning.
+
+    Node labels are strings at the API boundary but dense integer symbols
+    internally, so that hot loops (NFA transitions, keyword matching, VF2
+    label checks) compare labels with [(=)] on [int]. *)
+
+type t
+
+type symbol = int
+(** Dense identifiers, allocated from 0 upward. *)
+
+val create : unit -> t
+
+val intern : t -> string -> symbol
+(** Return the symbol for a string, allocating a fresh one on first sight. *)
+
+val find : t -> string -> symbol option
+(** Lookup without allocating. *)
+
+val name : t -> symbol -> string
+(** Inverse of {!intern}.
+    @raise Invalid_argument on a symbol never returned by [intern]. *)
+
+val size : t -> int
+(** Number of distinct symbols allocated so far. *)

@@ -1,0 +1,94 @@
+module Make (K : Hashtbl.HashedType) = struct
+  type key = K.t
+
+  module H = Hashtbl.Make (K)
+
+  type t = {
+    mutable keys : key array;  (* heap slots; valid for indices < size *)
+    mutable prio : int array;
+    mutable size : int;
+    pos : int H.t;             (* key -> heap index *)
+  }
+
+  let create ?(hint = 16) () =
+    { keys = [||]; prio = [||]; size = 0; pos = H.create (max 16 hint) }
+
+  let is_empty q = q.size = 0
+  let length q = q.size
+  let mem q k = H.mem q.pos k
+
+  let priority q k =
+    match H.find_opt q.pos k with
+    | None -> None
+    | Some i -> Some q.prio.(i)
+
+  let grow q k =
+    let cap = Array.length q.keys in
+    let cap' = if cap = 0 then 16 else 2 * cap in
+    let keys = Array.make cap' k in
+    let prio = Array.make cap' 0 in
+    Array.blit q.keys 0 keys 0 q.size;
+    Array.blit q.prio 0 prio 0 q.size;
+    q.keys <- keys;
+    q.prio <- prio
+
+  let place q i k p =
+    q.keys.(i) <- k;
+    q.prio.(i) <- p;
+    H.replace q.pos k i
+
+  let rec sift_up q i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if q.prio.(i) < q.prio.(parent) then begin
+        let ki = q.keys.(i) and pi = q.prio.(i) in
+        place q i q.keys.(parent) q.prio.(parent);
+        place q parent ki pi;
+        sift_up q parent
+      end
+    end
+
+  let rec sift_down q i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < q.size && q.prio.(l) < q.prio.(!smallest) then smallest := l;
+    if r < q.size && q.prio.(r) < q.prio.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      let s = !smallest in
+      let ki = q.keys.(i) and pi = q.prio.(i) in
+      place q i q.keys.(s) q.prio.(s);
+      place q s ki pi;
+      sift_down q s
+    end
+
+  let push_new q k p =
+    if q.size = Array.length q.keys then grow q k;
+    let i = q.size in
+    q.size <- i + 1;
+    place q i k p;
+    sift_up q i
+
+  let decrease q k p =
+    match H.find_opt q.pos k with
+    | None -> push_new q k p
+    | Some i -> if p < q.prio.(i) then begin q.prio.(i) <- p; sift_up q i end
+
+  let insert = decrease
+
+  let pull_min q =
+    if q.size = 0 then None
+    else begin
+      let k = q.keys.(0) and p = q.prio.(0) in
+      H.remove q.pos k;
+      q.size <- q.size - 1;
+      if q.size > 0 then begin
+        place q 0 q.keys.(q.size) q.prio.(q.size);
+        sift_down q 0
+      end;
+      Some (k, p)
+    end
+
+  let clear q =
+    q.size <- 0;
+    H.reset q.pos
+end

@@ -1,0 +1,37 @@
+(** Minimum priority queues with decrease-key.
+
+    The incremental algorithms of the paper (IncKWS−, IncKWS, IncRPQ) fix the
+    exact shortest distances of affected entries by repeatedly extracting the
+    entry with minimum tentative distance and relaxing its in-neighbors,
+    exactly like Dijkstra restricted to the affected area
+    (Ramalingam–Reps style). That loop needs [pull_min] and [decrease].
+
+    Implemented as a binary heap indexed by a position table, so [insert],
+    [pull_min] and [decrease] are O(log n) and [mem]/[priority] are O(1)
+    expected. *)
+
+module Make (K : Hashtbl.HashedType) : sig
+  type key = K.t
+  type t
+
+  val create : ?hint:int -> unit -> t
+  val is_empty : t -> bool
+  val length : t -> int
+  val mem : t -> key -> bool
+
+  val priority : t -> key -> int option
+  (** Current priority of a queued key, if any. *)
+
+  val insert : t -> key -> int -> unit
+  (** Insert a key. If already queued, behaves like {!decrease} when the new
+      priority is smaller and is a no-op otherwise. *)
+
+  val decrease : t -> key -> int -> unit
+  (** Lower the priority of a queued key (inserts if absent). A priority not
+      smaller than the current one is ignored. *)
+
+  val pull_min : t -> (key * int) option
+  (** Remove and return the minimum entry. *)
+
+  val clear : t -> unit
+end

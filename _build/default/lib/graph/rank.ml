@@ -1,0 +1,133 @@
+type item = int
+
+module M = Map.Make (Int)
+
+let gap = 4294967296 (* 2^32 *)
+
+type t = {
+  labels : (item, int) Hashtbl.t;
+  mutable used : item M.t; (* label -> item *)
+}
+
+let create () = { labels = Hashtbl.create 64; used = M.empty }
+
+let size t = Hashtbl.length t.labels
+
+let mem t x = Hashtbl.mem t.labels x
+
+let value t x =
+  match Hashtbl.find_opt t.labels x with
+  | Some l -> l
+  | None -> raise Not_found
+
+let compare_items t a b = Int.compare (value t a) (value t b)
+
+let set t x l =
+  Hashtbl.replace t.labels x l;
+  t.used <- M.add l x t.used
+
+let insert_top t x =
+  if mem t x then invalid_arg "Rank.insert_top: item present";
+  let l =
+    match M.max_binding_opt t.used with
+    | None -> 0
+    | Some (top, _) -> top + gap
+  in
+  set t x l
+
+let insert_bottom t x =
+  if mem t x then invalid_arg "Rank.insert_bottom: item present";
+  let l =
+    match M.min_binding_opt t.used with
+    | None -> 0
+    | Some (bot, _) -> bot - gap
+  in
+  set t x l
+
+let remove t x =
+  match Hashtbl.find_opt t.labels x with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove t.labels x;
+      t.used <- M.remove l t.used
+
+(* Relabel every item with evenly spaced labels, preserving order. *)
+let relabel t =
+  let items = M.bindings t.used in
+  t.used <- M.empty;
+  Hashtbl.reset t.labels;
+  List.iteri (fun i (_, x) -> set t x ((i + 1) * gap)) items
+
+let sorted_labels_of t items =
+  let ls =
+    List.map
+      (fun x ->
+        match Hashtbl.find_opt t.labels x with
+        | Some l -> l
+        | None -> invalid_arg "Rank: item not present")
+      items
+  in
+  List.sort_uniq Int.compare ls
+
+let reassign t items =
+  let ls = sorted_labels_of t items in
+  if List.length ls <> List.length items then
+    invalid_arg "Rank.reassign: duplicate items";
+  List.iter2 (fun x l -> set t x l) items ls
+
+let take_labels t items =
+  let ls = sorted_labels_of t items in
+  if List.length ls <> List.length items then
+    invalid_arg "Rank.take_labels: duplicate items";
+  List.iter (fun x -> remove t x) items;
+  ls
+
+let give t x l =
+  if mem t x then invalid_arg "Rank.give: item present";
+  if M.mem l t.used then invalid_arg "Rank.give: label in use";
+  set t x l
+
+let rec split t x ~parts =
+  let l =
+    match Hashtbl.find_opt t.labels x with
+    | Some l -> l
+    | None -> invalid_arg "Rank.split: item not present"
+  in
+  List.iter
+    (fun p ->
+      if p <> x && mem t p then invalid_arg "Rank.split: part already present")
+    parts;
+  let k = List.length parts in
+  if k = 0 then remove t x
+  else begin
+    let lo =
+      match M.find_last_opt (fun l' -> l' < l) t.used with
+      | Some (l', _) -> l'
+      | None -> l - (gap * (k + 1))
+    in
+    let hi =
+      match M.find_first_opt (fun l' -> l' > l) t.used with
+      | Some (l', _) -> l'
+      | None -> l + (gap * (k + 1))
+    in
+    let room = hi - lo in
+    if room < k + 1 then begin
+      relabel t;
+      split t x ~parts
+    end
+    else begin
+      remove t x;
+      let step = room / (k + 1) in
+      List.iteri (fun i p -> set t p (lo + (step * (i + 1)))) parts
+    end
+  end
+
+let check t =
+  if Hashtbl.length t.labels <> M.cardinal t.used then
+    failwith "Rank.check: size mismatch";
+  Hashtbl.iter
+    (fun x l ->
+      match M.find_opt l t.used with
+      | Some x' when x' = x -> ()
+      | _ -> failwith "Rank.check: views disagree")
+    t.labels

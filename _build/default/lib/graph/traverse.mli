@@ -1,0 +1,27 @@
+(** Standard traversals over {!Digraph}.
+
+    The localizable algorithms of the paper repeatedly need the
+    [d]-neighborhood [G_d(v)] of updated nodes — nodes within [d] hops when
+    the graph is read as undirected (Section 4.1) — and bounded BFS in either
+    edge direction. *)
+
+type node = Digraph.node
+
+val bfs : ?bound:int -> dir:[ `Forward | `Backward ] -> Digraph.t ->
+  node list -> (node, int) Hashtbl.t
+(** Multi-source BFS along edges ([`Forward]) or against them ([`Backward]).
+    Returns hop distances from the source set; nodes farther than [bound]
+    (inclusive) are not visited. Sources get distance 0. *)
+
+val ball : Digraph.t -> node list -> d:int -> (node, int) Hashtbl.t
+(** [ball g vs ~d] is [V_d(vs)]: nodes within [d] undirected hops of any
+    source, with their undirected distances. *)
+
+val reaches : ?within:(node -> bool) -> Digraph.t -> node -> node -> bool
+(** [reaches g u v] tests directed reachability, optionally restricted to
+    nodes satisfying [within] (both endpoints must satisfy it, except that
+    [u] is always expanded). *)
+
+val reachable : ?within:(node -> bool) -> Digraph.t ->
+  dir:[ `Forward | `Backward ] -> node list -> (node, unit) Hashtbl.t
+(** Restricted closure in the given direction. *)

@@ -1,0 +1,45 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; Array.unsafe_get v.data i
+
+let set v i x = check v i; Array.unsafe_set v.data i x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data = Array.make cap' x in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  let i = v.len in
+  Array.unsafe_set v.data i x;
+  v.len <- i + 1;
+  i
+
+let iter f v =
+  for i = 0 to v.len - 1 do f (Array.unsafe_get v.data i) done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do f i (Array.unsafe_get v.data i) done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do acc := f !acc (Array.unsafe_get v.data i) done;
+  !acc
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (get v i :: acc) in
+  go (v.len - 1) []
+
+let clear v = v.len <- 0

@@ -1,0 +1,35 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this module provides the small subset
+    of a dynamic-array API the library needs: amortized O(1) [push], O(1)
+    random access, and iteration over the live prefix. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] whose cells all hold [x]. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** O(1). @raise Invalid_argument if the index is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** O(1). @raise Invalid_argument if the index is out of bounds. *)
+
+val push : 'a t -> 'a -> int
+(** Append an element and return its index. Amortized O(1). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit
+(** Drop all elements (capacity is retained). *)

@@ -1,0 +1,1 @@
+lib/iso/inc_iso.ml: Array Hashtbl Ig_graph List Pattern Printf Vf2

@@ -1,0 +1,1 @@
+lib/iso/inc_iso.mli: Ig_graph Pattern Vf2

@@ -1,0 +1,1 @@
+lib/iso/pattern.ml: Array Format Hashtbl List Queue String

@@ -1,0 +1,1 @@
+lib/iso/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/iso/vf2.ml: Array Hashtbl Ig_graph List Pattern

@@ -1,0 +1,1 @@
+lib/iso/vf2.mli: Ig_graph Pattern

@@ -1,0 +1,185 @@
+module Digraph = Ig_graph.Digraph
+module Traverse = Ig_graph.Traverse
+
+type node = Digraph.node
+
+type delta = { added : Vf2.mapping list; removed : Vf2.mapping list }
+
+type stats = { mutable ball_nodes : int; mutable rematches : int }
+
+type t = {
+  g : Digraph.t;
+  p : Pattern.t;
+  grouped : bool;
+  dq : int;
+  matches : (Vf2.canon, Vf2.mapping) Hashtbl.t;
+  edge_index : (node * node, (Vf2.canon, unit) Hashtbl.t) Hashtbl.t;
+  gained : (Vf2.canon, Vf2.mapping) Hashtbl.t;
+  lost : (Vf2.canon, Vf2.mapping) Hashtbl.t;
+  st : stats;
+}
+
+let graph t = t.g
+let pattern t = t.p
+let stats t = t.st
+
+let reset_stats t =
+  t.st.ball_nodes <- 0;
+  t.st.rematches <- 0
+
+let image_edges t m =
+  List.map (fun (u, v) -> (m.(u), m.(v))) (Pattern.edges t.p)
+
+let add_match t c m =
+  if not (Hashtbl.mem t.matches c) then begin
+    Hashtbl.replace t.matches c m;
+    List.iter
+      (fun e ->
+        let set =
+          match Hashtbl.find_opt t.edge_index e with
+          | Some s -> s
+          | None ->
+              let s = Hashtbl.create 4 in
+              Hashtbl.replace t.edge_index e s;
+              s
+        in
+        Hashtbl.replace set c ())
+      (image_edges t m);
+    if Hashtbl.mem t.lost c then Hashtbl.remove t.lost c
+    else Hashtbl.replace t.gained c m
+  end
+
+let remove_match t c =
+  match Hashtbl.find_opt t.matches c with
+  | None -> ()
+  | Some m ->
+      Hashtbl.remove t.matches c;
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt t.edge_index e with
+          | Some s ->
+              Hashtbl.remove s c;
+              if Hashtbl.length s = 0 then Hashtbl.remove t.edge_index e
+          | None -> ())
+        (image_edges t m);
+      if Hashtbl.mem t.gained c then Hashtbl.remove t.gained c
+      else Hashtbl.replace t.lost c m
+
+let flush_delta t =
+  let added = Hashtbl.fold (fun _ m acc -> m :: acc) t.gained [] in
+  let removed = Hashtbl.fold (fun _ m acc -> m :: acc) t.lost [] in
+  Hashtbl.reset t.gained;
+  Hashtbl.reset t.lost;
+  { added; removed }
+
+let process_delete t e =
+  match Hashtbl.find_opt t.edge_index e with
+  | None -> ()
+  | Some set ->
+      let cs = Hashtbl.fold (fun c () acc -> c :: acc) set [] in
+      List.iter (fun c -> remove_match t c) cs
+
+(* Localized re-match: VF2 confined to the d_Q-neighborhood of the inserted
+   edges' endpoints (paper steps (2)-(3)). *)
+let process_inserts t endpoints =
+  if endpoints <> [] && Pattern.n_edges t.p > 0 then begin
+    let ball = Traverse.ball t.g endpoints ~d:t.dq in
+    t.st.ball_nodes <- t.st.ball_nodes + Hashtbl.length ball;
+    t.st.rematches <- t.st.rematches + 1;
+    Vf2.iter_matches ~allowed:(fun v -> Hashtbl.mem ball v) t.g t.p (fun m ->
+        let c = Vf2.canon_of t.p m in
+        add_match t c m)
+  end
+
+let insert_edge t u v =
+  if Digraph.add_edge t.g u v then process_inserts t [ u; v ]
+
+let delete_edge t u v =
+  if Digraph.remove_edge t.g u v then process_delete t (u, v)
+
+let apply_batch t updates =
+  (* Deletions first (paper step (1)), then insertions. *)
+  let inserted = ref [] in
+  List.iter
+    (fun up ->
+      match up with
+      | Digraph.Delete (u, v) ->
+          if Digraph.remove_edge t.g u v then process_delete t (u, v)
+      | Digraph.Insert _ -> ())
+    updates;
+  List.iter
+    (fun up ->
+      match up with
+      | Digraph.Insert (u, v) ->
+          if Digraph.add_edge t.g u v then
+            if t.grouped then inserted := u :: v :: !inserted
+            else process_inserts t [ u; v ]
+      | Digraph.Delete _ -> ())
+    updates;
+  if t.grouped then process_inserts t !inserted;
+  flush_delta t
+
+let add_node t label =
+  let v = Digraph.add_node t.g label in
+  if Pattern.n_nodes t.p = 1 && Pattern.label t.p 0 = label then begin
+    if Pattern.n_edges t.p = 0 then
+      add_match t (Vf2.canon_of t.p [| v |]) [| v |]
+    (* A single node with a self-loop pattern needs the loop edge, which
+       does not exist yet. *)
+  end;
+  v
+
+let init ?(grouped = true) g p =
+  let t =
+    {
+      g;
+      p;
+      grouped;
+      dq = Pattern.diameter p;
+      matches = Hashtbl.create 256;
+      edge_index = Hashtbl.create 256;
+      gained = Hashtbl.create 64;
+      lost = Hashtbl.create 64;
+      st = { ball_nodes = 0; rematches = 0 };
+    }
+  in
+  List.iter
+    (fun m -> add_match t (Vf2.canon_of p m) m)
+    (Vf2.find_all g p);
+  Hashtbl.reset t.gained;
+  t
+
+let matches t = Hashtbl.fold (fun _ m acc -> m :: acc) t.matches []
+
+let n_matches t = Hashtbl.length t.matches
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let fresh = Vf2.find_all t.g t.p in
+  if List.length fresh <> Hashtbl.length t.matches then
+    fail "%d matches, expected %d" (Hashtbl.length t.matches)
+      (List.length fresh);
+  List.iter
+    (fun m ->
+      let c = Vf2.canon_of t.p m in
+      if not (Hashtbl.mem t.matches c) then fail "match missing")
+    fresh;
+  (* Index consistency. *)
+  Hashtbl.iter
+    (fun _ m ->
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt t.edge_index e with
+          | Some s when Hashtbl.mem s (Vf2.canon_of t.p m) -> ()
+          | _ -> fail "edge index missing an entry")
+        (image_edges t m))
+    t.matches;
+  Hashtbl.iter
+    (fun e s ->
+      Hashtbl.iter
+        (fun c () ->
+          if not (Hashtbl.mem t.matches c) then
+            fail "edge index references dead match";
+          ignore e)
+        s)
+    t.edge_index

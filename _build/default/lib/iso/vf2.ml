@@ -1,0 +1,100 @@
+module Digraph = Ig_graph.Digraph
+
+type node = Digraph.node
+type mapping = node array
+type canon = node list * (node * node) list
+
+let canon_of p m =
+  let nodes = List.sort compare (Array.to_list m) in
+  let edges =
+    List.sort compare
+      (List.map (fun (u, v) -> (m.(u), m.(v))) (Pattern.edges p))
+  in
+  (nodes, edges)
+
+let iter_matches ?(allowed = fun _ -> true) g p f =
+  let np = Pattern.n_nodes p in
+  let order = Pattern.matching_order p in
+  (* Pattern labels resolved against the graph's interner; a label unknown
+     to the graph can never match. *)
+  let sym_of = Array.make np (-1) in
+  let ok = ref true in
+  for u = 0 to np - 1 do
+    match Ig_graph.Interner.find (Digraph.interner g) (Pattern.label p u) with
+    | Some s -> sym_of.(u) <- s
+    | None -> ok := false
+  done;
+  if !ok then begin
+    let m = Array.make np (-1) in
+    let pos = Array.make np (-1) in
+    (* pos.(u) = index of pattern node u in the matching order *)
+    Array.iteri (fun i u -> pos.(u) <- i) order;
+    let used = Hashtbl.create 32 in
+    (* Pattern edges incident to u whose other endpoint precedes u. *)
+    let back_edges =
+      Array.init np (fun i ->
+          let u = order.(i) in
+          let earlier v = pos.(v) < i in
+          List.filter_map
+            (fun v ->
+              if v = u then Some `Self
+              else if earlier v then Some (`Out v)
+              else None)
+            (Pattern.succ p u)
+          @ List.filter_map
+              (fun v ->
+                (* self-loops are covered once by the successor side *)
+                if v <> u && earlier v then Some (`In v) else None)
+              (Pattern.pred p u))
+    in
+    let feasible u cand =
+      Digraph.label g cand = sym_of.(u)
+      && (not (Hashtbl.mem used cand))
+      && allowed cand
+      && Digraph.out_degree g cand >= List.length (Pattern.succ p u)
+      && Digraph.in_degree g cand >= List.length (Pattern.pred p u)
+      && List.for_all
+           (function
+             | `Self -> Digraph.mem_edge g cand cand
+             | `Out v -> Digraph.mem_edge g cand m.(v)
+             | `In v -> Digraph.mem_edge g m.(v) cand)
+           back_edges.(pos.(u))
+    in
+    let rec step i =
+      if i = np then f (Array.copy m)
+      else begin
+        let u = order.(i) in
+        let try_candidate cand =
+          if feasible u cand then begin
+            m.(u) <- cand;
+            Hashtbl.replace used cand ();
+            step (i + 1);
+            Hashtbl.remove used cand;
+            m.(u) <- -1
+          end
+        in
+        (* Candidates from the image adjacency of one matched neighbor,
+           falling back to the label index for the first node. *)
+        let anchor =
+          List.find_opt (function `Self -> false | _ -> true) back_edges.(i)
+        in
+        match anchor with
+        | Some (`Out v) -> Digraph.iter_pred try_candidate g m.(v)
+        | Some (`In v) -> Digraph.iter_succ try_candidate g m.(v)
+        | Some `Self | None ->
+            List.iter try_candidate (Digraph.nodes_with_label g sym_of.(u))
+      end
+    in
+    step 0
+  end
+
+let find_all ?allowed g p =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  iter_matches ?allowed g p (fun m ->
+      let c = canon_of p m in
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.replace seen c ();
+        acc := m :: !acc
+      end);
+  !acc

@@ -1,0 +1,42 @@
+(** VF2-style subgraph isomorphism enumeration (Cordella et al. [15]) —
+    the batch baseline the paper compares IncISO against.
+
+    A match of pattern [Q] in [G] is a subgraph [Gs ⊆ G] isomorphic to [Q];
+    since [Gs] carries exactly the image edges, this is classical subgraph
+    {e monomorphism}: an injective, label-preserving [h : V_Q → V] with
+    [(u,u') ∈ E_Q ⟹ (h(u), h(u')) ∈ E]. Mappings that induce the same image
+    subgraph (pattern automorphisms) count as one match, matching the
+    paper's definition of [Q(G)] as a set of subgraphs.
+
+    The search follows the VF2 recipe: a connectivity-respecting matching
+    order, candidates generated from the image adjacency of an already
+    matched pattern neighbor, and label/degree feasibility pruning. *)
+
+type node = Ig_graph.Digraph.node
+
+type mapping = node array
+(** [mapping.(u)] is the graph node the pattern node [u] maps to. *)
+
+type canon = node list * (node * node) list
+(** Canonical form of a match subgraph: sorted image nodes and sorted image
+    edges. Two mappings are the same match iff their canons are equal. *)
+
+val canon_of : Pattern.t -> mapping -> canon
+
+val iter_matches :
+  ?allowed:(node -> bool) ->
+  Ig_graph.Digraph.t ->
+  Pattern.t ->
+  (mapping -> unit) ->
+  unit
+(** Enumerate mappings (one callback per {e mapping}; callers dedupe by
+    {!canon_of} when they need subgraph semantics). [allowed] restricts the
+    image to a node subset — IncISO uses it to confine the search to the
+    [d_Q]-neighborhood of the updated edges without copying the graph. *)
+
+val find_all :
+  ?allowed:(node -> bool) ->
+  Ig_graph.Digraph.t ->
+  Pattern.t ->
+  mapping list
+(** All distinct matches (one representative mapping per canon). *)

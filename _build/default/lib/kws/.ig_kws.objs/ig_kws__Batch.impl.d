@@ -1,0 +1,1 @@
+lib/kws/batch.ml: Array Hashtbl Ig_graph List Queue

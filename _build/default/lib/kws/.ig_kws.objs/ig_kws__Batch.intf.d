@@ -1,0 +1,1 @@
+lib/kws/batch.mli: Hashtbl Ig_graph

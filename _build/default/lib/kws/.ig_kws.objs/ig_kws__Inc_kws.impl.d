@@ -1,0 +1,1 @@
+lib/kws/inc_kws.ml: Array Batch Hashtbl Ig_graph Int List Option Printf Stack

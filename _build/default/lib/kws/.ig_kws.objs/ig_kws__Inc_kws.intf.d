@@ -1,0 +1,1 @@
+lib/kws/inc_kws.mli: Batch Ig_graph

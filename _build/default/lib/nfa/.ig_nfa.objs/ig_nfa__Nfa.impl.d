@@ -1,0 +1,1 @@
+lib/nfa/nfa.ml: Array Format Hashtbl Ig_graph Int List Option Regex Set

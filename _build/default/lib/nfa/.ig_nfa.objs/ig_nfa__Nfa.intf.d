@@ -1,0 +1,1 @@
+lib/nfa/nfa.mli: Format Ig_graph Regex

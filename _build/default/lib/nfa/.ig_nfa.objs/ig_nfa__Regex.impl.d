@@ -1,0 +1,1 @@
+lib/nfa/regex.ml: Format Hashtbl List Printf String

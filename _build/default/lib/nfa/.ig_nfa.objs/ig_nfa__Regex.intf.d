@@ -1,0 +1,1 @@
+lib/nfa/regex.mli: Format

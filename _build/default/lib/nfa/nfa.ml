@@ -1,0 +1,121 @@
+type state = int
+type symbol = Ig_graph.Interner.symbol
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  n_states : int;
+  accepting : bool array;
+  delta : (symbol, state list) Hashtbl.t array;
+  delta_inv : (symbol, state list) Hashtbl.t array;
+  nullable : bool;
+}
+
+let n_states a = a.n_states
+let start (_ : t) = 0
+let is_accepting a s = a.accepting.(s)
+let nullable a = a.nullable
+
+let next a s sym =
+  match Hashtbl.find_opt a.delta.(s) sym with Some l -> l | None -> []
+
+let prev a s sym =
+  match Hashtbl.find_opt a.delta_inv.(s) sym with Some l -> l | None -> []
+
+(* Glushkov construction. Positions are numbered 1..n in left-to-right
+   order of label occurrences; position 0 is the initial state. *)
+let compile interner q =
+  (* Linearize: collect position labels. *)
+  let pos_labels = ref [] in
+  let n = ref 0 in
+  (* Annotated regex where every label carries its position. *)
+  let rec linearize (q : Regex.t) =
+    match q with
+    | Regex.Empty -> `Empty
+    | Regex.Label l ->
+        incr n;
+        let p = !n in
+        pos_labels := (p, Ig_graph.Interner.intern interner l) :: !pos_labels;
+        `Pos p
+    | Regex.Concat (a, b) -> `Concat (linearize a, linearize b)
+    | Regex.Alt (a, b) -> `Alt (linearize a, linearize b)
+    | Regex.Star a -> `Star (linearize a)
+  in
+  let lin = linearize q in
+  let n = !n in
+  let label_of = Array.make (n + 1) (-1) in
+  List.iter (fun (p, sym) -> label_of.(p) <- sym) !pos_labels;
+  let follow = Array.make (n + 1) IntSet.empty in
+  let add_follow from_set to_set =
+    IntSet.iter
+      (fun p -> follow.(p) <- IntSet.union follow.(p) to_set)
+      from_set
+  in
+  (* (nullable, first, last) in one recursion, filling [follow]. *)
+  let rec go = function
+    | `Empty -> (true, IntSet.empty, IntSet.empty)
+    | `Pos p -> (false, IntSet.singleton p, IntSet.singleton p)
+    | `Alt (a, b) ->
+        let na, fa, la = go a and nb, fb, lb = go b in
+        (na || nb, IntSet.union fa fb, IntSet.union la lb)
+    | `Concat (a, b) ->
+        let na, fa, la = go a and nb, fb, lb = go b in
+        add_follow la fb;
+        let first = if na then IntSet.union fa fb else fa in
+        let last = if nb then IntSet.union la lb else lb in
+        (na && nb, first, last)
+    | `Star a ->
+        let _, fa, la = go a in
+        add_follow la fa;
+        (true, fa, la)
+  in
+  let nullable, first, last = go lin in
+  let delta = Array.init (n + 1) (fun _ -> Hashtbl.create 4) in
+  let delta_inv = Array.init (n + 1) (fun _ -> Hashtbl.create 4) in
+  let add_transition s p =
+    let sym = label_of.(p) in
+    let cur =
+      Option.value ~default:[] (Hashtbl.find_opt delta.(s) sym)
+    in
+    Hashtbl.replace delta.(s) sym (p :: cur);
+    let cur' =
+      Option.value ~default:[] (Hashtbl.find_opt delta_inv.(p) sym)
+    in
+    Hashtbl.replace delta_inv.(p) sym (s :: cur')
+  in
+  IntSet.iter (fun p -> add_transition 0 p) first;
+  for s = 1 to n do
+    IntSet.iter (fun p -> add_transition s p) follow.(s)
+  done;
+  let accepting = Array.make (n + 1) false in
+  accepting.(0) <- nullable;
+  IntSet.iter (fun p -> accepting.(p) <- true) last;
+  { n_states = n + 1; accepting; delta; delta_inv; nullable }
+
+let accepts a word =
+  let step states sym =
+    IntSet.fold
+      (fun s acc -> List.fold_left (fun acc s' -> IntSet.add s' acc) acc (next a s sym))
+      states IntSet.empty
+  in
+  let final = List.fold_left step (IntSet.singleton 0) word in
+  IntSet.exists (fun s -> is_accepting a s) final
+
+let alphabet a =
+  let syms = Hashtbl.create 8 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun sym _ -> Hashtbl.replace syms sym ()) tbl)
+    a.delta;
+  Hashtbl.fold (fun sym () acc -> sym :: acc) syms []
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>nfa: %d states@," a.n_states;
+  for s = 0 to a.n_states - 1 do
+    Format.fprintf ppf "  %d%s:" s (if a.accepting.(s) then " (accept)" else "");
+    Hashtbl.iter
+      (fun sym targets ->
+        List.iter (fun p -> Format.fprintf ppf " -%d->%d" sym p) targets)
+      a.delta.(s);
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

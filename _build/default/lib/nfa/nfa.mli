@@ -1,0 +1,48 @@
+(** ε-free NFAs for regular path queries.
+
+    Compiled from {!Regex.t} by the Glushkov (position-automaton)
+    construction, which produces an ε-free NFA with [|Q| + 1] states — the
+    same small-automata family as the Hromkovič–Seibert–Wilke construction
+    the paper adopts for its batch algorithm [RPQNFA] (both avoid
+    ε-transitions; state count differs only by constant factors on the
+    query sizes used here).
+
+    Labels are interned symbols so transition lookups in the product-graph
+    traversal are integer hash hits. The automaton also carries the inverse
+    transition relation, needed by IncRPQ to enumerate candidate
+    predecessors ([cpre]) of a product node without scanning all states. *)
+
+type state = int
+type symbol = Ig_graph.Interner.symbol
+
+type t
+
+val compile : Ig_graph.Interner.t -> Regex.t -> t
+(** Compile against an interner (normally the graph's), so that symbols
+    agree with node labels. Query labels absent from the interner are
+    interned — they simply never match a node. *)
+
+val n_states : t -> int
+
+val start : t -> state
+(** The unique initial state [s0]. *)
+
+val is_accepting : t -> state -> bool
+
+val nullable : t -> bool
+(** Whether ε ∈ L(Q). (Irrelevant to matches — paths have at least one
+    node — but exposed for completeness.) *)
+
+val next : t -> state -> symbol -> state list
+(** [next a s α] = δ(s, α). Returns [[]] for unknown symbols. *)
+
+val prev : t -> state -> symbol -> state list
+(** [prev a s α] = all [s'] with [s ∈ δ(s', α)]. *)
+
+val accepts : t -> symbol list -> bool
+(** Word membership by subset simulation (testing aid). *)
+
+val alphabet : t -> symbol list
+(** Symbols with at least one transition. *)
+
+val pp : Format.formatter -> t -> unit

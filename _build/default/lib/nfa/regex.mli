@@ -1,0 +1,39 @@
+(** Regular path expressions (paper Section 2.1).
+
+    [Q ::= ε | α | Q·Q | Q+Q | Q*] over an alphabet of node labels. The
+    query size [|Q|] is the number of label occurrences, following the
+    paper's convention. *)
+
+type t =
+  | Empty                (** ε — the empty word *)
+  | Label of string      (** α — one node label *)
+  | Concat of t * t      (** Q·Q *)
+  | Alt of t * t         (** Q+Q *)
+  | Star of t            (** Q* *)
+
+val size : t -> int
+(** Number of label occurrences ([|Q|] in the paper's cost bounds). *)
+
+val labels : t -> string list
+(** Distinct labels mentioned, in first-occurrence order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print in the concrete syntax accepted by {!parse}. *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Concrete syntax: labels are bare identifiers
+    ([A-Za-z0-9_-], not the reserved word [eps]); [eps] is ε; [+] is
+    alternation; [.] (or juxtaposition) is concatenation; postfix [*] is
+    Kleene star; parentheses group. Example:
+    ["c . (b . a + c)* . c"]. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on a parse error. *)
+
+val matches : t -> string list -> bool
+(** [matches q w] tests whether the label word [w] belongs to [L(q)].
+    Reference implementation by derivative-free recursion, used in tests as
+    an oracle for the NFA. Exponential in the worst case; fine for small
+    inputs. *)

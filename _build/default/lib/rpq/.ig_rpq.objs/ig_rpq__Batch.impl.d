@@ -1,0 +1,1 @@
+lib/rpq/batch.ml: Hashtbl Ig_graph Ig_nfa List Pgraph Queue

@@ -1,0 +1,1 @@
+lib/rpq/batch.mli: Hashtbl Ig_graph Ig_nfa Pgraph

@@ -1,0 +1,1 @@
+lib/rpq/inc_rpq.ml: Batch Hashtbl Ig_graph Ig_nfa Int List Option Pgraph Printf Stack

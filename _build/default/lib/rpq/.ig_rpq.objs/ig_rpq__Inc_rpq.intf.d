@@ -1,0 +1,1 @@
+lib/rpq/inc_rpq.mli: Ig_graph Ig_nfa

@@ -1,0 +1,1 @@
+lib/rpq/pgraph.ml: Ig_graph Ig_nfa List

@@ -1,0 +1,1 @@
+lib/rpq/pgraph.mli: Ig_graph Ig_nfa

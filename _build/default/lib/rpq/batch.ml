@@ -1,0 +1,44 @@
+module Digraph = Ig_graph.Digraph
+module Nfa = Ig_nfa.Nfa
+
+type node = Digraph.node
+
+let source_marks p u =
+  let marks = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      let k = Pgraph.key p u s in
+      if not (Hashtbl.mem marks k) then begin
+        Hashtbl.replace marks k 0;
+        Queue.add k q
+      end)
+    (Pgraph.initial_states p u);
+  while not (Queue.is_empty q) do
+    let k = Queue.pop q in
+    let d = Hashtbl.find marks k in
+    Pgraph.iter_succ p k (fun k' ->
+        if not (Hashtbl.mem marks k') then begin
+          Hashtbl.replace marks k' (d + 1);
+          Queue.add k' q
+        end)
+  done;
+  marks
+
+let matches_from p u =
+  let marks = source_marks p u in
+  let hit = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k _ ->
+      if Pgraph.is_accepting p k then
+        Hashtbl.replace hit (Pgraph.node_of p k) ())
+    marks;
+  Hashtbl.fold (fun v () acc -> v :: acc) hit []
+
+let run g a =
+  let p = Pgraph.make g a in
+  List.concat_map
+    (fun u -> List.map (fun v -> (u, v)) (matches_from p u))
+    (Pgraph.sources p)
+
+let run_query g q = run g (Nfa.compile (Digraph.interner g) q)

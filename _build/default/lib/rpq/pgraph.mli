@@ -1,0 +1,49 @@
+(** The intersection (product) graph of a data graph and a query NFA.
+
+    Nodes are pairs [(v, s)] of a graph node and an NFA state, encoded as a
+    single integer key; there is an edge [(v,s) → (w,s')] iff [(v,w) ∈ E]
+    and [s' ∈ δ(s, l(w))] (paper Section 5.2, Fig. 4). The product graph is
+    never materialized: successors and predecessors are enumerated on the
+    fly from the graph adjacency and the (inverse) NFA transitions, which is
+    how IncRPQ derives the paper's [cpre]/[mpre] marking fields instead of
+    storing them.
+
+    A run for source [u] starts with a virtual hop [(u, s0) → (u, s)] for
+    [s ∈ δ(s0, l(u))] — consuming the label of the path's first node — so a
+    node [u] is a {e source} iff [δ(s0, l(u)) ≠ ∅]. *)
+
+type node = Ig_graph.Digraph.node
+type state = Ig_nfa.Nfa.state
+type key = int
+
+type t
+
+val make : Ig_graph.Digraph.t -> Ig_nfa.Nfa.t -> t
+(** A lightweight view; reflects later graph mutations. *)
+
+val graph : t -> Ig_graph.Digraph.t
+val nfa : t -> Ig_nfa.Nfa.t
+
+val key : t -> node -> state -> key
+val node_of : t -> key -> node
+val state_of : t -> key -> state
+
+val is_source : t -> node -> bool
+
+val initial_states : t -> node -> state list
+(** [δ(s0, l(u))] — the states entered by the virtual hop. *)
+
+val sources : t -> node list
+(** All source nodes of the current graph. *)
+
+val iter_succ : t -> key -> (key -> unit) -> unit
+(** Product successors of [(v,s)]. *)
+
+val iter_pred : t -> key -> (key -> unit) -> unit
+(** Product predecessors: all [(v',s')] with an edge to [(v,s)]. *)
+
+val succ_keys_of_edge : t -> state -> node -> state list
+(** [succ_keys_of_edge p s w] = [δ(s, l(w))]: the states reachable when the
+    underlying graph edge ends at [w] and the run is in state [s]. *)
+
+val is_accepting : t -> key -> bool

@@ -1,0 +1,1 @@
+lib/scc/inc_scc.ml: Array Format Hashtbl Ig_graph Int List Option Printf Stack String Tarjan

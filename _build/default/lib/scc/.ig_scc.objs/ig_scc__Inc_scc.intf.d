@@ -1,0 +1,1 @@
+lib/scc/inc_scc.mli: Format Ig_graph

@@ -1,0 +1,1 @@
+lib/scc/tarjan.ml: Array Fun Ig_graph List Stack

@@ -1,0 +1,1 @@
+lib/scc/tarjan.mli: Ig_graph

@@ -1,0 +1,1 @@
+lib/sim/inc_sim.ml: Array Hashtbl Ig_graph Ig_iso List Option Printf Sim Stack

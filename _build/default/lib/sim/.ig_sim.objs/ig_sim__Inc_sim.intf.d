@@ -1,0 +1,1 @@
+lib/sim/inc_sim.mli: Ig_graph Ig_iso Sim

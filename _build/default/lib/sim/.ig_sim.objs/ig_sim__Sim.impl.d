@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Hashtbl Ig_graph Ig_iso List Stack

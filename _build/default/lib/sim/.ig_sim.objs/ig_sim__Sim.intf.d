@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Hashtbl Ig_graph Ig_iso

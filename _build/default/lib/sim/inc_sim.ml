@@ -1,0 +1,237 @@
+module Digraph = Ig_graph.Digraph
+module Pattern = Ig_iso.Pattern
+
+type node = Digraph.node
+
+type delta = { added : (int * node) list; removed : (int * node) list }
+
+type t = {
+  g : Digraph.t;
+  p : Pattern.t;
+  r : Sim.relation;
+  cnt : (node, int) Hashtbl.t array; (* per pattern edge id, for v ∈ r.(u) *)
+  out_edges : (int * int) list array;
+  in_edges : (int * int) list array;
+  gained : (int * node, unit) Hashtbl.t;
+  lost : (int * node, unit) Hashtbl.t;
+  mutable n_pairs : int;
+}
+
+let graph t = t.g
+let pattern t = t.p
+let relation t = t.r
+let mem t u v = Sim.mem t.r u v
+let n_pairs t = t.n_pairs
+
+let note_gain t u v =
+  t.n_pairs <- t.n_pairs + 1;
+  if Hashtbl.mem t.lost (u, v) then Hashtbl.remove t.lost (u, v)
+  else Hashtbl.replace t.gained (u, v) ()
+
+let note_lose t u v =
+  t.n_pairs <- t.n_pairs - 1;
+  if Hashtbl.mem t.gained (u, v) then Hashtbl.remove t.gained (u, v)
+  else Hashtbl.replace t.lost (u, v) ()
+
+let flush_delta t =
+  let added = Hashtbl.fold (fun x () acc -> x :: acc) t.gained [] in
+  let removed = Hashtbl.fold (fun x () acc -> x :: acc) t.lost [] in
+  Hashtbl.reset t.gained;
+  Hashtbl.reset t.lost;
+  { added; removed }
+
+let support_count t u' v = Sim.support_count t.g t.r u' v
+
+(* Decremental cascade: remove pairs whose support hit zero. *)
+let cascade t doomed =
+  let stack = Stack.create () in
+  List.iter (fun x -> Stack.push x stack) doomed;
+  while not (Stack.is_empty stack) do
+    let u, v = Stack.pop stack in
+    if Hashtbl.mem t.r.(u) v then begin
+      Hashtbl.remove t.r.(u) v;
+      List.iter (fun (e, _) -> Hashtbl.remove t.cnt.(e) v) t.out_edges.(u);
+      note_lose t u v;
+      List.iter
+        (fun (e, tp) ->
+          Digraph.iter_pred
+            (fun pnode ->
+              if Hashtbl.mem t.r.(tp) pnode then begin
+                match Hashtbl.find_opt t.cnt.(e) pnode with
+                | Some c ->
+                    Hashtbl.replace t.cnt.(e) pnode (c - 1);
+                    if c - 1 = 0 then Stack.push (tp, pnode) stack
+                | None -> ()
+              end)
+            t.g v)
+        t.in_edges.(u)
+    end
+  done
+
+let delete_edge t a b =
+  if Digraph.remove_edge t.g a b then begin
+    let doomed = ref [] in
+    (* Pattern edges whose support ran through the deleted graph edge. *)
+    Array.iteri
+      (fun u ls ->
+        List.iter
+          (fun (e, u') ->
+            if Hashtbl.mem t.r.(u') b && Hashtbl.mem t.r.(u) a then begin
+              match Hashtbl.find_opt t.cnt.(e) a with
+              | Some c ->
+                  Hashtbl.replace t.cnt.(e) a (c - 1);
+                  if c - 1 = 0 then doomed := (u, a) :: !doomed
+              | None -> ()
+            end)
+          ls)
+      t.out_edges;
+    cascade t !doomed
+  end
+
+let insert_edge t a b =
+  if Digraph.add_edge t.g a b then begin
+    (* Existing pairs gain support through the new edge. *)
+    Array.iteri
+      (fun u ls ->
+        List.iter
+          (fun (e, u') ->
+            if Hashtbl.mem t.r.(u') b && Hashtbl.mem t.r.(u) a then
+              Hashtbl.replace t.cnt.(e) a
+                (1 + Option.value ~default:0 (Hashtbl.find_opt t.cnt.(e) a)))
+          ls)
+      t.out_edges;
+    (* Revalidation: a pair can flip into the greatest simulation only if
+       its support dependency chain reaches the new edge, i.e. its graph
+       node reaches [a]. Prune R ∪ those candidates; R itself survives
+       (adding edges cannot invalidate a simulation), so the pruned result
+       is exactly the new greatest simulation. *)
+    let closure =
+      Ig_graph.Traverse.reachable t.g ~dir:`Backward [ a ]
+    in
+    let cands = Sim.candidates t.p t.g in
+    let init =
+      Array.mapi
+        (fun u set ->
+          let h = Hashtbl.copy t.r.(u) in
+          Hashtbl.iter
+            (fun v () ->
+              if Hashtbl.mem closure v && not (Hashtbl.mem h v) then
+                Hashtbl.replace h v ())
+            set;
+          h)
+        cands
+    in
+    let fresh = Sim.prune t.p t.g init in
+    (* Merge additions and refresh counters incrementally. *)
+    let additions = ref [] in
+    Array.iteri
+      (fun u set ->
+        Hashtbl.iter
+          (fun v () ->
+            if not (Hashtbl.mem t.r.(u) v) then begin
+              Hashtbl.replace t.r.(u) v ();
+              note_gain t u v;
+              additions := (u, v) :: !additions
+            end)
+          set)
+      fresh;
+    let added_set = Hashtbl.create 16 in
+    List.iter (fun x -> Hashtbl.replace added_set x ()) !additions;
+    List.iter
+      (fun (u, v) ->
+        (* Own support counts, against the final relation — these already
+           include support coming from other same-round additions. *)
+        List.iter
+          (fun (e, u') -> Hashtbl.replace t.cnt.(e) v (support_count t u' v))
+          t.out_edges.(u);
+        (* The new member also supports its pre-existing predecessors; the
+           counts of same-round additions were computed fresh above and
+           must not be bumped twice. *)
+        List.iter
+          (fun (e, tp) ->
+            Digraph.iter_pred
+              (fun pnode ->
+                if
+                  Hashtbl.mem t.r.(tp) pnode
+                  && not (Hashtbl.mem added_set (tp, pnode))
+                then
+                  Hashtbl.replace t.cnt.(e) pnode
+                    (1
+                    + Option.value ~default:0
+                        (Hashtbl.find_opt t.cnt.(e) pnode)))
+              t.g v)
+          t.in_edges.(u))
+      !additions
+  end
+
+let apply_batch t updates =
+  List.iter
+    (fun up ->
+      match up with
+      | Digraph.Insert (u, v) -> insert_edge t u v
+      | Digraph.Delete (u, v) -> delete_edge t u v)
+    updates;
+  flush_delta t
+
+let init g p =
+  let r = Sim.run p g in
+  let out_edges, in_edges = Sim.edge_index p in
+  let cnt =
+    Array.init (Pattern.n_edges p) (fun _ -> Hashtbl.create 32)
+  in
+  let t =
+    {
+      g;
+      p;
+      r;
+      cnt;
+      out_edges;
+      in_edges;
+      gained = Hashtbl.create 32;
+      lost = Hashtbl.create 32;
+      n_pairs = 0;
+    }
+  in
+  Array.iteri
+    (fun u set ->
+      Hashtbl.iter
+        (fun v () ->
+          t.n_pairs <- t.n_pairs + 1;
+          List.iter
+            (fun (e, u') -> Hashtbl.replace cnt.(e) v (support_count t u' v))
+            out_edges.(u))
+        set)
+    r;
+  t
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let fresh = Sim.run t.p t.g in
+  Array.iteri
+    (fun u set ->
+      if Hashtbl.length set <> Hashtbl.length t.r.(u) then
+        fail "pattern node %d: %d members, expected %d" u
+          (Hashtbl.length t.r.(u))
+          (Hashtbl.length set);
+      Hashtbl.iter
+        (fun v () ->
+          if not (Hashtbl.mem t.r.(u) v) then fail "missing pair (%d, %d)" u v)
+        set)
+    fresh;
+  (* Counter consistency. *)
+  Array.iteri
+    (fun u set ->
+      Hashtbl.iter
+        (fun v () ->
+          List.iter
+            (fun (e, u') ->
+              let real = support_count t u' v in
+              match Hashtbl.find_opt t.cnt.(e) v with
+              | Some c when c = real -> ()
+              | Some c -> fail "cnt(%d, %d) = %d, expected %d" e v c real
+              | None -> fail "cnt(%d, %d) missing" e v)
+            t.out_edges.(u))
+        set)
+    t.r;
+  let total = Array.fold_left (fun acc s -> acc + Hashtbl.length s) 0 t.r in
+  if total <> t.n_pairs then fail "n_pairs %d, expected %d" t.n_pairs total

@@ -1,0 +1,46 @@
+(** Incremental graph simulation.
+
+    Maintains the greatest simulation relation under edge updates, in the
+    spirit of the semi-bounded algorithms of [17] that the paper's related
+    work discusses:
+
+    - {b deletions} propagate lost support through per-(pattern-edge, node)
+      counters — the classic decremental cascade, touching only pairs whose
+      support actually collapses;
+    - {b insertions} can only grow the greatest simulation, and a pair can
+      flip only if its support chain reaches the new edge, so the
+      revalidation candidates are confined to label-compatible pairs whose
+      graph node reaches the inserted edge's tail; the fixpoint reruns on
+      [R ∪ candidates] only (still the "auxiliary data may be polynomial in
+      |G|" regime of semi-boundedness — simulation has no locality, which
+      is exactly the paper's point in Section 4.1). *)
+
+type node = Ig_graph.Digraph.node
+
+type delta = {
+  added : (int * node) list;    (** (pattern node, graph node) pairs *)
+  removed : (int * node) list;
+}
+
+type t
+
+val init : Ig_graph.Digraph.t -> Ig_iso.Pattern.t -> t
+(** Runs the batch fixpoint once; the session owns the graph. *)
+
+val graph : t -> Ig_graph.Digraph.t
+val pattern : t -> Ig_iso.Pattern.t
+
+val insert_edge : t -> node -> node -> unit
+val delete_edge : t -> node -> node -> unit
+val apply_batch : t -> Ig_graph.Digraph.update list -> delta
+val flush_delta : t -> delta
+
+val relation : t -> Sim.relation
+(** The current greatest simulation (do not mutate). *)
+
+val mem : t -> int -> node -> bool
+val n_pairs : t -> int
+
+val check_invariants : t -> unit
+(** Test hook: relation equals a fresh batch run; counters are consistent.
+    @raise Failure on violation. *)

@@ -1,0 +1,42 @@
+(** Graph simulation — the query class of the paper's related work [17]
+    (Fan, Wang, Wu: Incremental graph pattern matching, TODS 2013), whose
+    incremental problem is {e semi-bounded}. Included as the baseline the
+    paper contrasts its localizability/relative-boundedness measures
+    against.
+
+    A node [v] simulates pattern node [u] iff their labels agree and for
+    every pattern edge [(u, u')] some successor of [v] simulates [u']. The
+    answer is the {e greatest} such relation (unique; possibly empty per
+    pattern node). Unlike subgraph isomorphism it is polynomial and not
+    injective. *)
+
+type node = Ig_graph.Digraph.node
+
+type relation = (node, unit) Hashtbl.t array
+(** One set of graph nodes per pattern node (indexed by pattern node id). *)
+
+val candidates : Ig_iso.Pattern.t -> Ig_graph.Digraph.t -> relation
+(** The label-compatible pairs — the fixpoint's starting point. *)
+
+val prune : Ig_iso.Pattern.t -> Ig_graph.Digraph.t -> relation -> relation
+(** Remove pairs until every surviving pair has all its pattern edges
+    supported inside the relation: computes the largest simulation
+    {e contained in} the given sets (mutated in place and returned). The
+    HHK-style worklist makes this O(Σ|sets| · deg) rather than a quadratic
+    fixpoint iteration. *)
+
+val run : Ig_iso.Pattern.t -> Ig_graph.Digraph.t -> relation
+(** The greatest simulation: [prune p g (candidates p g)]. *)
+
+val pairs : relation -> (int * node) list
+(** Flatten to (pattern node, graph node) pairs. *)
+
+val mem : relation -> int -> node -> bool
+
+(** {1 Internals shared with the incremental engine} *)
+
+val edge_index : Ig_iso.Pattern.t -> (int * int) list array * (int * int) list array
+(** Per pattern node: outgoing and incoming (edge id, other endpoint). *)
+
+val support_count : Ig_graph.Digraph.t -> relation -> int -> node -> int
+(** [support_count g rel u' v] = |succ(v) ∩ rel(u')|. *)

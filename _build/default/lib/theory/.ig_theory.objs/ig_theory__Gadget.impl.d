@@ -1,0 +1,1 @@
+lib/theory/gadget.ml: Array Ig_graph Ig_nfa Ig_rpq List

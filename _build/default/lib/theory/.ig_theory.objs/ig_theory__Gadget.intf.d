@@ -1,0 +1,1 @@
+lib/theory/gadget.mli: Ig_graph Ig_nfa

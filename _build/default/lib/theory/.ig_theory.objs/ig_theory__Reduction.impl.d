@@ -1,0 +1,1 @@
+lib/theory/reduction.ml: Ig_graph Ig_nfa Ig_rpq List

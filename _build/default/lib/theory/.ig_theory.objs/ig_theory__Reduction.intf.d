@@ -1,0 +1,1 @@
+lib/theory/reduction.mli: Ig_graph Ig_nfa Ig_rpq

@@ -1,0 +1,1 @@
+lib/theory/ssrp.ml: Hashtbl Ig_graph Stack

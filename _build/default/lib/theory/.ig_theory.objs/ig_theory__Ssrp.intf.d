@@ -1,0 +1,1 @@
+lib/theory/ssrp.mli: Hashtbl Ig_graph

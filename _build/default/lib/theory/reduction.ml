@@ -1,0 +1,53 @@
+module Digraph = Ig_graph.Digraph
+module Regex = Ig_nfa.Regex
+
+type node = Digraph.node
+
+type ('i1, 'd1, 'o1, 'i2, 'd2, 'o2) t = {
+  f : 'i1 -> 'i2;
+  fi : 'i1 -> 'd1 -> 'd2;
+  fo : 'i1 -> 'o2 -> 'o1;
+}
+
+type ssrp_instance = { graph : Digraph.t; source : node }
+
+type reach_change = { node : node; now_reachable : bool }
+
+let source_label = "alpha1"
+let other_label = "alpha2"
+
+let build_graph inst =
+  let g2 = Digraph.create ~hint:(Digraph.n_nodes inst.graph) () in
+  Digraph.iter_nodes
+    (fun v ->
+      let l = if v = inst.source then source_label else other_label in
+      ignore (Digraph.add_node g2 l))
+    inst.graph;
+  Digraph.iter_edges (fun u v -> ignore (Digraph.add_edge g2 u v)) inst.graph;
+  g2
+
+let query = Regex.(Concat (Label source_label, Star (Label other_label)))
+
+let ssrp_to_rpq =
+  {
+    f = (fun inst -> (build_graph inst, query));
+    fi = (fun _ up -> up);
+    fo =
+      (fun inst (d : Ig_rpq.Inc_rpq.delta) ->
+        (* Matches are (source, v) pairs: all α1-paths start at the source.
+           The (source, source) self match only reports trivial
+           reachability; SSRP counts it too (v_s reaches itself). *)
+        let changes =
+          List.map
+            (fun (u, v) ->
+              assert (u = inst.source);
+              { node = v; now_reachable = true })
+            d.Ig_rpq.Inc_rpq.added
+          @ List.map
+              (fun (u, v) ->
+                assert (u = inst.source);
+                { node = v; now_reachable = false })
+              d.Ig_rpq.Inc_rpq.removed
+        in
+        changes);
+  }

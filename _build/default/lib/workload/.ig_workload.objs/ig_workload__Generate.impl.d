@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Fun Ig_graph Random

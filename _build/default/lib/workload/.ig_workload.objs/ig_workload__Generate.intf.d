@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Ig_graph Random

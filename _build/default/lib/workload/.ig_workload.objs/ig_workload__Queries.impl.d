@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Array Hashtbl Ig_graph Ig_iso Ig_kws Ig_nfa List Random

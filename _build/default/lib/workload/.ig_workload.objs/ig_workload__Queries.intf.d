@@ -1,0 +1,1 @@
+lib/workload/queries.mli: Ig_graph Ig_iso Ig_kws Ig_nfa Random

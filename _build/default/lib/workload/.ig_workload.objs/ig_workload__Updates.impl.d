@@ -1,0 +1,1 @@
+lib/workload/updates.ml: Array Float Hashtbl Ig_graph Random

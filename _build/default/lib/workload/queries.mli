@@ -1,0 +1,26 @@
+(** Random query generators (paper Section 6, "Query generators").
+
+    "We randomly generated 30 queries of KWS, RPQ and ISO with labels drawn
+    from the graphs": KWS queries are controlled by [(m, b)], RPQ queries by
+    size and operator mix, and ISO pattern queries by
+    [(|V_Q|, |E_Q|, d_Q)]. Labels are sampled from the graph so queries are
+    satisfiable in principle; ISO patterns are sampled as connected
+    subgraphs of the data graph, guaranteeing at least one match. *)
+
+val kws :
+  rng:Random.State.t -> Ig_graph.Digraph.t -> m:int -> b:int ->
+  Ig_kws.Batch.query
+(** [m] keywords drawn from labels present in the graph, bound [b]. *)
+
+val rpq : rng:Random.State.t -> Ig_graph.Digraph.t -> size:int -> Ig_nfa.Regex.t
+(** A random regex with [size] label occurrences over graph labels, mixing
+    concatenation, union and Kleene star (stars are kept off the first
+    position so the query has sources). *)
+
+val iso :
+  rng:Random.State.t -> Ig_graph.Digraph.t -> nodes:int -> edges:int ->
+  Ig_iso.Pattern.t option
+(** Sample a weakly connected induced subgraph with [nodes] nodes as a
+    pattern, trimmed to at most [edges] edges while preserving weak
+    connectivity. [None] if the graph has no such subgraph after a bounded
+    number of attempts (e.g. it is too sparse). *)

@@ -1,0 +1,71 @@
+module Digraph = Ig_graph.Digraph
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let generate ~rng g ~size ?(ratio = 1.0) () =
+  if ratio < 0.0 then invalid_arg "Updates.generate: negative ratio";
+  let n = Digraph.n_nodes g in
+  let n_ins =
+    int_of_float (Float.round (float_of_int size *. ratio /. (1.0 +. ratio)))
+  in
+  let n_del = size - n_ins in
+  (* Deletions: a uniform sample of existing edges. *)
+  let edges = Array.of_list (Digraph.edges g) in
+  shuffle rng edges;
+  let n_del = min n_del (Array.length edges) in
+  let chosen = Hashtbl.create (2 * size) in
+  let dels = ref [] in
+  for i = 0 to n_del - 1 do
+    Hashtbl.replace chosen edges.(i) ();
+    dels := Digraph.Delete (fst edges.(i), snd edges.(i)) :: !dels
+  done;
+  (* Insertions: uniform non-edges, avoiding batch-internal conflicts. *)
+  let inss = ref [] in
+  if n > 1 then begin
+    let placed = ref 0 in
+    let attempts = ref 0 in
+    let limit = 30 * max 1 n_ins in
+    while !placed < n_ins && !attempts < limit do
+      incr attempts;
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v && (not (Digraph.mem_edge g u v)) && not (Hashtbl.mem chosen (u, v))
+      then begin
+        Hashtbl.replace chosen (u, v) ();
+        inss := Digraph.Insert (u, v) :: !inss;
+        incr placed
+      end
+    done
+  end;
+  let all = Array.of_list (!dels @ !inss) in
+  shuffle rng all;
+  Array.to_list all
+
+let generate_replay ~rng g ~size ?(ratio = 1.0) () =
+  if ratio < 0.0 then invalid_arg "Updates.generate_replay: negative ratio";
+  let n_ins =
+    int_of_float (Float.round (float_of_int size *. ratio /. (1.0 +. ratio)))
+  in
+  let edges = Array.of_list (Digraph.edges g) in
+  shuffle rng edges;
+  let n_ins = min n_ins (Array.length edges) in
+  let inss = ref [] in
+  for i = 0 to n_ins - 1 do
+    let u, v = edges.(i) in
+    ignore (Digraph.remove_edge g u v);
+    inss := Digraph.Insert (u, v) :: !inss
+  done;
+  let n_del = min (size - n_ins) (Array.length edges - n_ins) in
+  let dels = ref [] in
+  for i = n_ins to n_ins + n_del - 1 do
+    let u, v = edges.(i) in
+    dels := Digraph.Delete (u, v) :: !dels
+  done;
+  let all = Array.of_list (!inss @ !dels) in
+  shuffle rng all;
+  Array.to_list all

@@ -1,0 +1,39 @@
+(** Random batch updates (paper Section 6, "Updates").
+
+    "Updates ΔG are randomly generated … controlled by size |ΔG| and a
+    ratio ρ of edge insertions to deletions (ρ = 1 unless stated
+    otherwise, i.e. the size of the graphs remains stable)."
+
+    A batch never inserts and deletes the same edge (the assumption of
+    Section 4.2), never inserts an existing edge, and never deletes an
+    absent one — so [size] unit updates all take effect. The updates are
+    generated against the given graph but NOT applied to it; benches apply
+    them to per-algorithm copies. *)
+
+val generate :
+  rng:Random.State.t ->
+  Ig_graph.Digraph.t ->
+  size:int ->
+  ?ratio:float ->
+  unit ->
+  Ig_graph.Digraph.update list
+(** [ratio] is ρ = insertions / deletions (default 1.0). The batch is a
+    uniform shuffle of its insertions and deletions. Falls short of [size]
+    only if the graph runs out of edges to delete or free slots to insert. *)
+
+val generate_replay :
+  rng:Random.State.t ->
+  Ig_graph.Digraph.t ->
+  size:int ->
+  ?ratio:float ->
+  unit ->
+  Ig_graph.Digraph.update list
+(** Structure-preserving variant (the standard incremental-evaluation
+    methodology): the insertions are real edges of the given graph, which
+    are {e removed from it} by this call — the mutated graph is the base
+    [G], and applying the batch yields a graph with the same structural
+    profile. Deletions are sampled from the remaining edges. Use this for
+    benchmarks; uniform-random insertions (see {!generate}) progressively
+    destroy the profile a generator built (long-range edges inflate
+    transitive closures and neighborhoods), which real update streams do
+    not do. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Format Ig_iso Ig_kws Ig_rpq Ig_scc List Random

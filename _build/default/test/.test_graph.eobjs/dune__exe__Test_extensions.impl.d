@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Digraph Gen Hashtbl Ig_graph Ig_kws Ig_nfa Ig_rpq Ig_scc List QCheck QCheck_alcotest Traverse

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Digraph Format Hashtbl Ig_graph Int Interner Io List Pqueue QCheck QCheck_alcotest Rank Traverse Vec

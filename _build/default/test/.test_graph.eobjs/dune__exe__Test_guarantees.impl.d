@@ -1,0 +1,1 @@
+test/test_guarantees.ml: Alcotest Digraph Hashtbl Ig_graph Ig_iso Ig_kws Ig_nfa Ig_rpq Ig_scc Ig_theory Ig_workload List Printf Random Traverse

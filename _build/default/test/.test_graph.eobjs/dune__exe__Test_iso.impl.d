@@ -1,0 +1,1 @@
+test/test_iso.ml: Alcotest Array Digraph Hashtbl Ig_graph Ig_iso List Printf QCheck QCheck_alcotest String

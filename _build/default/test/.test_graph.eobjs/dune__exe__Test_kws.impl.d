@@ -1,0 +1,1 @@
+test/test_kws.ml: Alcotest Array Digraph Gen Hashtbl Ig_graph Ig_kws List Option Printf QCheck QCheck_alcotest String

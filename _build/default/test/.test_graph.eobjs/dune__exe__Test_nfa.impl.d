@@ -1,0 +1,1 @@
+test/test_nfa.ml: Alcotest Gen Ig_graph Ig_nfa List Nfa QCheck QCheck_alcotest Regex String

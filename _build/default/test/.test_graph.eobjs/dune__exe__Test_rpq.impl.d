@@ -1,0 +1,1 @@
+test/test_rpq.ml: Alcotest Digraph Gen Hashtbl Ig_graph Ig_nfa Ig_rpq List Printf QCheck QCheck_alcotest Regex String

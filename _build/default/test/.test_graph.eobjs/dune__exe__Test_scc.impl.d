@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Digraph Hashtbl Ig_graph Ig_scc List Printf QCheck QCheck_alcotest String

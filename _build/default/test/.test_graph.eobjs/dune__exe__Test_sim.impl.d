@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Digraph Gen Hashtbl Ig_graph Ig_iso Ig_sim List QCheck QCheck_alcotest

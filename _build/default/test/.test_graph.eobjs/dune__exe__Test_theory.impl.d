@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Digraph Gen Hashtbl Ig_graph Ig_rpq Ig_theory List QCheck QCheck_alcotest

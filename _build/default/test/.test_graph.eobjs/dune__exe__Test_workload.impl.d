@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Digraph Hashtbl Ig_graph Ig_iso Ig_kws Ig_nfa Ig_scc Ig_workload List Random

@@ -1,0 +1,197 @@
+(* Tests for the convenience/extension APIs layered on the engines:
+   RPQ witness paths and distances, the SCC condensation export, and KWS
+   match costs. *)
+
+open Ig_graph
+
+let check = Alcotest.check
+
+let labeled_graph labels edges =
+  let g = Digraph.create () in
+  List.iter (fun l -> ignore (Digraph.add_node g l)) labels;
+  List.iter (fun (u, v) -> ignore (Digraph.add_edge g u v)) edges;
+  g
+
+(* ---- RPQ witness paths ------------------------------------------------- *)
+
+let word_of g path = List.map (fun v -> Digraph.label_name g v) path
+
+let path_is_valid g = function
+  | [] | [ _ ] -> true
+  | path ->
+      let rec ok = function
+        | a :: (b :: _ as rest) -> Digraph.mem_edge g a b && ok rest
+        | _ -> true
+      in
+      ok path
+
+let test_rpq_witness_basic () =
+  let g =
+    labeled_graph [ "a"; "b"; "b"; "c" ] [ (0, 1); (1, 2); (2, 3); (1, 3) ]
+  in
+  let q = Ig_nfa.Regex.parse_exn "a . b* . c" in
+  let t = Ig_rpq.Inc_rpq.create g q in
+  check Alcotest.(option int) "distance" (Some 2)
+    (Ig_rpq.Inc_rpq.distance t 0 3);
+  (match Ig_rpq.Inc_rpq.witness_path t 0 3 with
+  | None -> Alcotest.fail "no witness"
+  | Some path ->
+      check Alcotest.int "shortest length" 3 (List.length path);
+      check Alcotest.bool "valid edges" true (path_is_valid g path);
+      check Alcotest.bool "word matches" true
+        (Ig_nfa.Regex.matches q (word_of g path)));
+  check Alcotest.(option int) "non-match" None (Ig_rpq.Inc_rpq.distance t 1 3)
+
+let test_rpq_witness_self_match () =
+  let g = labeled_graph [ "a" ] [] in
+  let t = Ig_rpq.Inc_rpq.create g (Ig_nfa.Regex.parse_exn "a") in
+  check Alcotest.(option int) "self distance" (Some 0)
+    (Ig_rpq.Inc_rpq.distance t 0 0);
+  check
+    Alcotest.(option (list int))
+    "self path" (Some [ 0 ])
+    (Ig_rpq.Inc_rpq.witness_path t 0 0)
+
+let test_rpq_witness_after_updates () =
+  let g = labeled_graph [ "a"; "b"; "c"; "b" ] [ (0, 1); (1, 2) ] in
+  let q = Ig_nfa.Regex.parse_exn "a . b . c" in
+  let t = Ig_rpq.Inc_rpq.create g q in
+  ignore
+    (Ig_rpq.Inc_rpq.apply_batch t
+       [ Digraph.Delete (0, 1); Digraph.Insert (0, 3); Digraph.Insert (3, 2) ]);
+  match Ig_rpq.Inc_rpq.witness_path t 0 2 with
+  | None -> Alcotest.fail "match lost"
+  | Some path ->
+      check Alcotest.bool "rerouted" true (List.mem 3 path);
+      check Alcotest.bool "valid" true
+        (path_is_valid (Ig_rpq.Inc_rpq.graph t) path)
+
+let prop_rpq_witnesses =
+  QCheck.Test.make ~name:"every match pair has a valid shortest witness"
+    ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 2 8 in
+          let* labels = list_repeat n (oneofl [ "a"; "b" ]) in
+          let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+          let* edges = list_size (int_bound (2 * n)) edge in
+          let* qsrc =
+            oneofl [ "a . b"; "a . b*"; "a . (a + b)* . b"; "b . a . b" ]
+          in
+          return (labels, edges, qsrc)))
+    (fun (labels, edges, qsrc) ->
+      let g = labeled_graph labels edges in
+      let q = Ig_nfa.Regex.parse_exn qsrc in
+      let t = Ig_rpq.Inc_rpq.create g q in
+      List.for_all
+        (fun (u, v) ->
+          match
+            (Ig_rpq.Inc_rpq.distance t u v, Ig_rpq.Inc_rpq.witness_path t u v)
+          with
+          | Some d, Some path ->
+              List.length path = d + 1
+              && path_is_valid g path
+              && List.hd path = u
+              && List.hd (List.rev path) = v
+              && Ig_nfa.Regex.matches q (word_of g path)
+          | _ -> false)
+        (Ig_rpq.Inc_rpq.matches t))
+
+(* ---- SCC condensation export -------------------------------------------- *)
+
+let test_scc_contracted () =
+  let t =
+    Ig_scc.Inc_scc.init
+      (labeled_graph
+         [ "x"; "x"; "x"; "x"; "x" ]
+         [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (3, 4) ])
+  in
+  let gc, members = Ig_scc.Inc_scc.contracted t in
+  check Alcotest.int "3 contracted nodes" 3 (Digraph.n_nodes gc);
+  (* Edges go from higher ids to lower ids (reverse topological creation
+     order). *)
+  Digraph.iter_edges
+    (fun a b ->
+      check Alcotest.bool "rank order" true (a > b))
+    gc;
+  (* Members partition V. *)
+  let total = Array.fold_left (fun acc ms -> acc + List.length ms) 0 members in
+  check Alcotest.int "partition" 5 total
+
+let test_scc_contracted_after_updates () =
+  let t =
+    Ig_scc.Inc_scc.init (labeled_graph [ "x"; "x"; "x" ] [ (0, 1); (1, 2) ])
+  in
+  ignore
+    (Ig_scc.Inc_scc.apply_batch t [ Digraph.Insert (2, 0) ]);
+  let gc, members = Ig_scc.Inc_scc.contracted t in
+  check Alcotest.int "merged to one" 1 (Digraph.n_nodes gc);
+  check Alcotest.int "all members" 3 (List.length members.(0))
+
+(* ---- KWS match cost -------------------------------------------------------- *)
+
+let test_kws_match_cost () =
+  let g =
+    labeled_graph [ "x"; "k1"; "k2" ] [ (0, 1); (0, 2); (1, 2) ]
+  in
+  let t =
+    Ig_kws.Inc_kws.init g { Ig_kws.Batch.keywords = [ "k1"; "k2" ]; bound = 2 }
+  in
+  (* Root 0: dist 1 to k1, dist 1 to k2. Root 1: dist 0 + dist 1. *)
+  check Alcotest.(option int) "root 0" (Some 2) (Ig_kws.Inc_kws.match_cost t 0);
+  check Alcotest.(option int) "root 1" (Some 1) (Ig_kws.Inc_kws.match_cost t 1);
+  check Alcotest.(option int) "non root" None (Ig_kws.Inc_kws.match_cost t 2)
+
+let prop_kws_cost_is_shortest =
+  QCheck.Test.make ~name:"match cost equals sum of true shortest distances"
+    ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 2 9 in
+          let* labels = list_repeat n (oneofl [ "k1"; "k2"; "x" ]) in
+          let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+          let* edges = list_size (int_bound (2 * n)) edge in
+          let* b = int_range 0 4 in
+          return (labels, edges, b)))
+    (fun (labels, edges, b) ->
+      let g = labeled_graph labels edges in
+      let q = { Ig_kws.Batch.keywords = [ "k1"; "k2" ]; bound = b } in
+      let t = Ig_kws.Inc_kws.init g q in
+      let shortest_to label r =
+        (* Reference: forward BFS from r to the nearest node of the label. *)
+        let d = Traverse.bfs ~dir:`Forward g [ r ] in
+        Hashtbl.fold
+          (fun v dist acc ->
+            if Digraph.label_name g v = label then min acc dist else acc)
+          d max_int
+      in
+      List.for_all
+        (fun r ->
+          match Ig_kws.Inc_kws.match_cost t r with
+          | None -> false
+          | Some c -> c = shortest_to "k1" r + shortest_to "k2" r)
+        (Ig_kws.Inc_kws.match_roots t))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "rpq witnesses",
+        Alcotest.test_case "basic" `Quick test_rpq_witness_basic
+        :: Alcotest.test_case "self match" `Quick test_rpq_witness_self_match
+        :: Alcotest.test_case "after updates" `Quick
+             test_rpq_witness_after_updates
+        :: qsuite [ prop_rpq_witnesses ] );
+      ( "scc condensation",
+        [
+          Alcotest.test_case "export" `Quick test_scc_contracted;
+          Alcotest.test_case "after updates" `Quick
+            test_scc_contracted_after_updates;
+        ] );
+      ( "kws cost",
+        Alcotest.test_case "basic" `Quick test_kws_match_cost
+        :: qsuite [ prop_kws_cost_is_shortest ] );
+    ]

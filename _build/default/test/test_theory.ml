@@ -1,0 +1,187 @@
+(* Tests for the theory library: SSRP, the Δ-reduction of Theorem 1, and
+   the Figure 9 unboundedness gadget. *)
+
+open Ig_graph
+module S = Ig_theory.Ssrp
+module R = Ig_theory.Reduction
+module G = Ig_theory.Gadget
+
+let check = Alcotest.check
+
+let graph_of_edges n edges =
+  let g = Digraph.create () in
+  for _ = 1 to n do
+    ignore (Digraph.add_node g "x")
+  done;
+  List.iter (fun (u, v) -> ignore (Digraph.add_edge g u v)) edges;
+  g
+
+(* ---- SSRP ------------------------------------------------------------------ *)
+
+let test_ssrp_batch () =
+  let g = graph_of_edges 5 [ (0, 1); (1, 2); (3, 4) ] in
+  let r = S.batch g 0 in
+  check Alcotest.int "size" 3 (Hashtbl.length r);
+  check Alcotest.bool "0" true (Hashtbl.mem r 0);
+  check Alcotest.bool "2" true (Hashtbl.mem r 2);
+  check Alcotest.bool "4 not" false (Hashtbl.mem r 4)
+
+let test_ssrp_insert_bounded () =
+  let g = graph_of_edges 5 [ (0, 1); (3, 4) ] in
+  let t = S.init g 0 in
+  check Alcotest.(list int) "newly reachable" [ 3; 4 ]
+    (List.sort compare (S.insert_edge t 1 3));
+  check Alcotest.bool "now 4" true (S.reaches t 4);
+  (* Inserting an edge between already-reachable nodes adds nothing. *)
+  check Alcotest.(list int) "no-op" [] (S.insert_edge t 0 4);
+  S.check_invariants t
+
+let test_ssrp_delete () =
+  let g = graph_of_edges 4 [ (0, 1); (1, 2); (2, 3); (0, 2) ] in
+  let t = S.init g 0 in
+  check Alcotest.(list int) "nothing lost (alt path)" []
+    (S.delete_edge t 1 2);
+  check Alcotest.(list int) "tail lost" [ 2; 3 ]
+    (List.sort compare (S.delete_edge t 0 2));
+  check Alcotest.bool "1 kept" true (S.reaches t 1);
+  S.check_invariants t
+
+let prop_ssrp_random =
+  QCheck.Test.make ~name:"SSRP incremental == batch" ~count:300
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 2 10 in
+          let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+          let* edges = list_size (int_bound (2 * n)) edge in
+          let* ops = list_size (int_bound 12) (pair bool edge) in
+          return (n, edges, ops)))
+    (fun (n, edges, ops) ->
+      let g = graph_of_edges n edges in
+      let t = S.init g 0 in
+      List.iter
+        (fun (ins, (u, v)) ->
+          if ins then ignore (S.insert_edge t u v)
+          else ignore (S.delete_edge t u v);
+          S.check_invariants t)
+        ops;
+      true)
+
+(* ---- Δ-reduction ------------------------------------------------------------- *)
+
+let test_reduction_static () =
+  let g1 = graph_of_edges 4 [ (0, 1); (1, 2) ] in
+  let inst = { R.graph = g1; source = 0 } in
+  let g2, q = R.ssrp_to_rpq.R.f inst in
+  check Alcotest.int "same nodes" 4 (Digraph.n_nodes g2);
+  check Alcotest.int "same edges" 2 (Digraph.n_edges g2);
+  let matches = Ig_rpq.Batch.run_query g2 q in
+  let reach = S.batch g1 0 in
+  check Alcotest.int "reachable == matches" (Hashtbl.length reach)
+    (List.length matches);
+  List.iter
+    (fun (u, v) ->
+      check Alcotest.int "source pinned" 0 u;
+      check Alcotest.bool "match is reachable" true (Hashtbl.mem reach v))
+    matches
+
+let prop_reduction_dynamic =
+  (* Lemma 2, executed: solving SSRP through the reduction + an RPQ engine
+     agrees with direct SSRP recomputation across update streams. *)
+  QCheck.Test.make ~name:"SSRP via Δ-reduction to IncRPQ" ~count:150
+    QCheck.(
+      make
+        Gen.(
+          let* n = int_range 2 8 in
+          let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+          let* edges = list_size (int_bound (2 * n)) edge in
+          let* ops = list_size (int_bound 10) (pair bool edge) in
+          return (n, edges, ops)))
+    (fun (n, edges, ops) ->
+      (* Avoid insert/delete of the same edge within the stream acting on
+         stale state: process updates one by one. *)
+      let g1 = graph_of_edges n edges in
+      let inst = { R.graph = g1; source = 0 } in
+      let g2, q = R.ssrp_to_rpq.R.f inst in
+      let rpq = Ig_rpq.Inc_rpq.create g2 q in
+      let reachable = S.batch g1 0 in
+      List.for_all
+        (fun (ins, (u, v)) ->
+          let up =
+            if ins then Digraph.Insert (u, v) else Digraph.Delete (u, v)
+          in
+          (* Keep the SSRP side in sync. *)
+          ignore (Digraph.apply g1 up);
+          let d2 = Ig_rpq.Inc_rpq.apply_batch rpq [ R.ssrp_to_rpq.R.fi inst up ] in
+          let changes = R.ssrp_to_rpq.R.fo inst d2 in
+          List.iter
+            (fun { R.node; now_reachable } ->
+              if now_reachable then Hashtbl.replace reachable node ()
+              else Hashtbl.remove reachable node)
+            changes;
+          let fresh = S.batch g1 0 in
+          Hashtbl.length fresh = Hashtbl.length reachable
+          && Hashtbl.fold
+               (fun v () acc -> acc && Hashtbl.mem reachable v)
+               fresh true)
+        ops)
+
+(* ---- Figure 9 gadget ----------------------------------------------------------- *)
+
+let test_gadget_phases () =
+  let g = G.make ~cycle:6 in
+  let q = g.G.query in
+  check Alcotest.int "Q(G) empty" 0
+    (List.length (Ig_rpq.Batch.run_query g.G.graph q));
+  (* Δ1 alone: still empty. *)
+  let t = Ig_rpq.Inc_rpq.create g.G.graph q in
+  let d1 = Ig_rpq.Inc_rpq.apply_batch t [ g.G.delta1 ] in
+  check Alcotest.int "Δ1 silent" 0
+    (List.length d1.Ig_rpq.Inc_rpq.added + List.length d1.Ig_rpq.Inc_rpq.removed);
+  (* Δ2 after Δ1: all v-nodes match with w. *)
+  let d2 = Ig_rpq.Inc_rpq.apply_batch t [ g.G.delta2 ] in
+  let expect = List.sort compare (G.expected_matches g) in
+  check
+    Alcotest.(list (pair int int))
+    "matches appear" expect
+    (List.sort compare d2.Ig_rpq.Inc_rpq.added);
+  Ig_rpq.Inc_rpq.check_invariants t
+
+let test_gadget_delta2_alone () =
+  let g = G.make ~cycle:6 in
+  let t = Ig_rpq.Inc_rpq.create g.G.graph g.G.query in
+  let d = Ig_rpq.Inc_rpq.apply_batch t [ g.G.delta2 ] in
+  check Alcotest.int "Δ2 alone silent" 0
+    (List.length d.Ig_rpq.Inc_rpq.added + List.length d.Ig_rpq.Inc_rpq.removed)
+
+let test_gadget_demo_grows () =
+  match G.demo ~cycles:[ 4; 8; 16; 32 ] with
+  | [ a; b; c; d ] ->
+      check Alcotest.int "|CHANGED| flat" 1 a.G.changed;
+      check Alcotest.int "|CHANGED| flat" 1 d.G.changed;
+      check Alcotest.bool "work grows" true
+        (a.G.inc_work < b.G.inc_work
+        && b.G.inc_work < c.G.inc_work
+        && c.G.inc_work < d.G.inc_work)
+  | _ -> Alcotest.fail "wrong number of demo points"
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "ig_theory"
+    [
+      ( "ssrp",
+        Alcotest.test_case "batch" `Quick test_ssrp_batch
+        :: Alcotest.test_case "bounded insert" `Quick test_ssrp_insert_bounded
+        :: Alcotest.test_case "delete" `Quick test_ssrp_delete
+        :: qsuite [ prop_ssrp_random ] );
+      ( "reduction",
+        Alcotest.test_case "static mapping" `Quick test_reduction_static
+        :: qsuite [ prop_reduction_dynamic ] );
+      ( "gadget",
+        [
+          Alcotest.test_case "three phases" `Quick test_gadget_phases;
+          Alcotest.test_case "delta2 alone" `Quick test_gadget_delta2_alone;
+          Alcotest.test_case "work grows with n" `Quick test_gadget_demo_grows;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Tests for the workload generators: graph profiles, update batches and
+   query samplers. *)
+
+open Ig_graph
+module G = Ig_workload.Generate
+module P = Ig_workload.Profiles
+module U = Ig_workload.Updates
+module Q = Ig_workload.Queries
+
+let check = Alcotest.check
+let rng () = Random.State.make [| 42 |]
+
+let test_uniform_counts () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:500 ~edges:1500 ~labels:10 in
+  check Alcotest.int "nodes" 500 (Digraph.n_nodes g);
+  check Alcotest.int "edges" 1500 (Digraph.n_edges g);
+  (* No self loops. *)
+  Digraph.iter_edges
+    (fun u v -> if u = v then Alcotest.fail "self loop generated")
+    g
+
+let test_uniform_label_alphabet () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:0 ~labels:7 in
+  let seen = Hashtbl.create 8 in
+  Digraph.iter_nodes (fun v -> Hashtbl.replace seen (Digraph.label_name g v) ()) g;
+  check Alcotest.bool "alphabet bounded" true (Hashtbl.length seen <= 7);
+  check Alcotest.bool "alphabet used" true (Hashtbl.length seen >= 5)
+
+let test_uniform_saturation () =
+  (* More edges than possible: must terminate with the full simple digraph. *)
+  let g = G.uniform ~rng:(rng ()) ~nodes:5 ~edges:1000 ~labels:2 in
+  check Alcotest.int "saturated" 20 (Digraph.n_edges g)
+
+let test_uniform_deterministic () =
+  let g1 = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:5 in
+  let g2 = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:5 in
+  check Alcotest.bool "same edges" true
+    (List.sort compare (Digraph.edges g1) = List.sort compare (Digraph.edges g2))
+
+let test_preferential_skew () =
+  let g = G.preferential ~rng:(rng ()) ~nodes:2000 ~edges:10000 ~labels:5 in
+  check Alcotest.int "edges" 10000 (Digraph.n_edges g);
+  let max_deg = ref 0 and sum = ref 0 in
+  Digraph.iter_nodes
+    (fun v ->
+      let d = Digraph.out_degree g v + Digraph.in_degree g v in
+      if d > !max_deg then max_deg := d;
+      sum := !sum + d)
+    g;
+  let avg = float_of_int !sum /. 2000.0 in
+  (* Heavy tail: the hub should dwarf the average degree. *)
+  check Alcotest.bool "skewed" true (float_of_int !max_deg > 4.0 *. avg)
+
+let test_plant_scc () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:400 ~edges:100 ~labels:3 in
+  G.plant_scc ~rng:(rng ()) g ~fraction:0.75;
+  let biggest =
+    List.fold_left
+      (fun acc c -> max acc (List.length c))
+      0
+      (Ig_scc.Tarjan.scc g)
+  in
+  check Alcotest.bool "giant scc" true (biggest >= 300)
+
+let test_profiles () =
+  List.iter
+    (fun spec ->
+      let g = P.instantiate ~scale:0.02 ~rng:(rng ()) spec in
+      check Alcotest.bool (spec.P.name ^ " nonempty") true
+        (Digraph.n_nodes g > 0 && Digraph.n_edges g > 0);
+      let expected_nodes =
+        max 2 (int_of_float (float_of_int spec.P.base_nodes *. 0.02))
+      in
+      check Alcotest.int (spec.P.name ^ " nodes") expected_nodes
+        (Digraph.n_nodes g))
+    [ P.dbpedia_like; P.livej_like; P.synthetic ]
+
+let test_updates_shape () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:900 ~labels:5 in
+  let ups = U.generate ~rng:(rng ()) g ~size:100 () in
+  check Alcotest.int "size" 100 (List.length ups);
+  let ins, del =
+    List.partition (function Digraph.Insert _ -> true | _ -> false) ups
+  in
+  check Alcotest.int "ratio 1" 50 (List.length ins);
+  check Alcotest.int "ratio 1 del" 50 (List.length del);
+  (* Every update takes effect on a copy. *)
+  let g' = Digraph.copy g in
+  List.iter
+    (fun up ->
+      if not (Digraph.apply g' up) then Alcotest.fail "no-op update generated")
+    ups
+
+let test_updates_ratio () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:900 ~labels:5 in
+  let ups = U.generate ~rng:(rng ()) g ~size:90 ~ratio:5.0 () in
+  let ins = List.filter (function Digraph.Insert _ -> true | _ -> false) ups in
+  check Alcotest.int "rho=5" 75 (List.length ins)
+
+let test_updates_no_conflicts () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:3 in
+  let ups = U.generate ~rng:(rng ()) g ~size:200 () in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun up ->
+      let e =
+        match up with Digraph.Insert (u, v) | Digraph.Delete (u, v) -> (u, v)
+      in
+      if Hashtbl.mem seen e then Alcotest.fail "conflicting updates";
+      Hashtbl.replace seen e ())
+    ups
+
+let test_kws_query () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:400 ~labels:5 in
+  let q = Q.kws ~rng:(rng ()) g ~m:3 ~b:2 in
+  check Alcotest.int "m" 3 (List.length q.Ig_kws.Batch.keywords);
+  check Alcotest.int "b" 2 q.Ig_kws.Batch.bound;
+  (* Keywords come from the graph, so each matches some node. *)
+  List.iter
+    (fun k ->
+      match Ig_graph.Interner.find (Digraph.interner g) k with
+      | Some sym ->
+          check Alcotest.bool "keyword present" true
+            (Digraph.nodes_with_label g sym <> [])
+      | None -> Alcotest.fail "keyword not in graph")
+    q.Ig_kws.Batch.keywords
+
+let test_rpq_query () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:600 ~labels:4 in
+  for seed = 0 to 20 do
+    let r = Random.State.make [| seed |] in
+    let q = Q.rpq ~rng:r g ~size:4 in
+    check Alcotest.int "size" 4 (Ig_nfa.Regex.size q);
+    (* The query must have sources: its NFA accepts no word starting from
+       a star-swallowed prefix... concretely δ(s0, first label) ≠ ∅. *)
+    let a = Ig_nfa.Nfa.compile (Digraph.interner g) q in
+    let has_start =
+      List.exists
+        (fun sym -> Ig_nfa.Nfa.next a (Ig_nfa.Nfa.start a) sym <> [])
+        (Ig_nfa.Nfa.alphabet a)
+    in
+    check Alcotest.bool "has initial transitions" true has_start
+  done
+
+let test_iso_query () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:1800 ~labels:3 in
+  match Q.iso ~rng:(rng ()) g ~nodes:4 ~edges:5 with
+  | None -> Alcotest.fail "no pattern sampled from a dense graph"
+  | Some p ->
+      check Alcotest.int "nodes" 4 (Ig_iso.Pattern.n_nodes p);
+      check Alcotest.bool "edges in range" true
+        (Ig_iso.Pattern.n_edges p >= 3 && Ig_iso.Pattern.n_edges p <= 5);
+      (* Sampled from the graph: at least one match exists. *)
+      check Alcotest.bool "satisfiable" true
+        (Ig_iso.Vf2.find_all g p <> [])
+
+let test_iso_query_sparse_none () =
+  let g = G.uniform ~rng:(rng ()) ~nodes:10 ~edges:0 ~labels:2 in
+  check Alcotest.bool "no pattern" true
+    (Q.iso ~rng:(rng ()) g ~nodes:3 ~edges:2 = None)
+
+let () =
+  Alcotest.run "ig_workload"
+    [
+      ( "generate",
+        [
+          Alcotest.test_case "uniform counts" `Quick test_uniform_counts;
+          Alcotest.test_case "label alphabet" `Quick test_uniform_label_alphabet;
+          Alcotest.test_case "saturation" `Quick test_uniform_saturation;
+          Alcotest.test_case "deterministic" `Quick test_uniform_deterministic;
+          Alcotest.test_case "preferential skew" `Quick test_preferential_skew;
+          Alcotest.test_case "plant scc" `Quick test_plant_scc;
+          Alcotest.test_case "profiles" `Quick test_profiles;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "shape" `Quick test_updates_shape;
+          Alcotest.test_case "ratio" `Quick test_updates_ratio;
+          Alcotest.test_case "no conflicts" `Quick test_updates_no_conflicts;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "kws" `Quick test_kws_query;
+          Alcotest.test_case "rpq" `Quick test_rpq_query;
+          Alcotest.test_case "iso" `Quick test_iso_query;
+          Alcotest.test_case "iso sparse" `Quick test_iso_query_sparse_none;
+        ] );
+    ]
