@@ -4,13 +4,15 @@
      generate   produce a synthetic labeled graph (profiles of Section 6)
      query      answer one query with the batch algorithm
      stream     maintain a query incrementally over a random update stream
+     fuzz       differential soak: incremental engines vs batch oracles
 
    Examples:
      incgraph generate -p dbpedia -s 0.1 -o kg.txt
      incgraph query -g kg.txt rpq 'l1 . l2* . l3'
      incgraph query -g kg.txt kws -b 2 actor award
      incgraph query -g kg.txt scc
-     incgraph stream -g kg.txt --batches 5 --size 500 kws -b 2 actor award *)
+     incgraph stream -g kg.txt --batches 5 --size 500 kws -b 2 actor award
+     incgraph fuzz --algo scc --steps 5000 --seed 2017 *)
 
 open Cmdliner
 
@@ -239,9 +241,96 @@ let stream_cmd =
         (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
        $ size $ ratio $ seed_arg))
 
+(* ---- fuzz ----------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let module C = Core.Check in
+  let algo =
+    Arg.(
+      value & opt string "all"
+      & info [ "algo" ]
+          ~doc:"Scenario: kws, rpq, scc, sim, iso, gadget or all." ~docv:"NAME")
+  in
+  let steps =
+    Arg.(
+      value & opt int 1000
+      & info [ "steps" ] ~doc:"Unit updates per scenario." ~docv:"N")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt int C.Scenarios.default_size.C.Scenarios.nodes
+      & info [ "nodes" ] ~doc:"Base graph node count." ~docv:"N")
+  in
+  let edges =
+    Arg.(
+      value
+      & opt int C.Scenarios.default_size.C.Scenarios.edges
+      & info [ "edges" ] ~doc:"Base graph edge count." ~docv:"N")
+  in
+  let labels =
+    Arg.(
+      value
+      & opt int C.Scenarios.default_size.C.Scenarios.labels
+      & info [ "labels" ] ~doc:"Base graph label alphabet size." ~docv:"N")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "out-dir" ]
+          ~doc:"Directory for failure reproduction artifacts." ~docv:"DIR")
+  in
+  let run algo steps nodes edges labels out_dir seed =
+    let size : C.Scenarios.size = { nodes; edges; labels } in
+    let rng = Random.State.make [| seed |] in
+    let scenarios =
+      if algo = "all" then Ok (C.Scenarios.all ~rng ~size ())
+      else
+        match C.Scenarios.by_name ~rng ~size algo with
+        | Some s -> Ok [ s ]
+        | None -> Error (Printf.sprintf "unknown fuzz scenario %S" algo)
+    in
+    match scenarios with
+    | Error e -> `Error (false, e)
+    | Ok scenarios ->
+        let failed = ref false in
+        List.iter
+          (fun (s : C.Scenarios.t) ->
+            Format.printf "fuzz %-6s seed %d: %d steps against batch oracle...@?"
+              s.C.Scenarios.name seed steps;
+            let result, t =
+              time (fun () ->
+                  C.Harness.run ~make:s.C.Scenarios.make
+                    ~focus:s.C.Scenarios.focus ~steps ~seed ())
+            in
+            match result with
+            | Ok n -> Format.printf " ok (%d steps, %.2fs)@." n t
+            | Error f ->
+                failed := true;
+                Format.printf " FAILED@.%a@." C.Harness.pp_failure f;
+                let gpath, upath =
+                  C.Harness.save_failure ~dir:out_dir ~base:s.C.Scenarios.base f
+                in
+                Format.printf "artifacts: %s, %s@." gpath upath)
+          scenarios;
+        if !failed then `Error (false, "fuzzing found failures (see above)")
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential soak: drive every incremental engine through a seeded \
+          random update stream, cross-checking answers and certificates \
+          against batch recomputation after each unit update; failures are \
+          ddmin-shrunk to minimal reproducers.")
+    Term.(
+      ret
+        (const run $ algo $ steps $ nodes $ edges $ labels $ out_dir $ seed_arg))
+
 let () =
   let info =
     Cmd.info "incgraph" ~version:"1.0.0"
       ~doc:"Incremental graph computations: doable and undoable (SIGMOD'17)."
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; query_cmd; stream_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ generate_cmd; query_cmd; stream_cmd; fuzz_cmd ]))

@@ -1,0 +1,1 @@
+lib/check/adapters.ml: Ig_graph Ig_iso Ig_kws Ig_nfa Ig_rpq Ig_scc Ig_sim List Oracle Printf String

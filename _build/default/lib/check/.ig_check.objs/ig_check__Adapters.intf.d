@@ -1,0 +1,1 @@
+lib/check/adapters.mli: Ig_graph Ig_iso Ig_kws Ig_nfa Ig_scc Ig_sim Oracle

@@ -1,0 +1,1 @@
+lib/check/harness.ml: Filename Format Ig_graph List Oracle Printexc Printf Random Shrink Stream

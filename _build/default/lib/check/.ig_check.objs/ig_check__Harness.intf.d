@@ -1,0 +1,1 @@
+lib/check/harness.mli: Format Ig_graph Oracle

@@ -1,0 +1,1 @@
+lib/check/oracle.ml: Ig_graph Printf String

@@ -1,0 +1,1 @@
+lib/check/scenarios.ml: Adapters Ig_graph Ig_iso Ig_theory Ig_workload Oracle

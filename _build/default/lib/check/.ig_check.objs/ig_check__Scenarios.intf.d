@@ -1,0 +1,1 @@
+lib/check/scenarios.mli: Ig_graph Oracle Random

@@ -1,0 +1,1 @@
+lib/check/stream.ml: Array Ig_graph List Random

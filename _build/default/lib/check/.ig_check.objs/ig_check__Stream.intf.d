@@ -1,0 +1,1 @@
+lib/check/stream.mli: Ig_graph Random

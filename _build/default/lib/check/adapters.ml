@@ -1,0 +1,143 @@
+module Digraph = Ig_graph.Digraph
+
+(* ---- canonical answer forms -------------------------------------------- *)
+
+let canon_nodes ns =
+  let ns = List.sort_uniq compare ns in
+  "{" ^ String.concat " " (List.map string_of_int ns) ^ "}"
+
+let canon_pairs ps =
+  let ps = List.sort_uniq compare ps in
+  "{"
+  ^ String.concat " " (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) ps)
+  ^ "}"
+
+let canon_comps cs =
+  let cs = List.sort compare (List.map (List.sort compare) cs) in
+  String.concat ""
+    (List.map
+       (fun c -> "[" ^ String.concat " " (List.map string_of_int c) ^ "]")
+       cs)
+
+(* A match subgraph: sorted image nodes plus sorted image edges (the VF2
+   canon), printed. *)
+let canon_mappings p ms =
+  let cs = List.sort_uniq compare (List.map (Ig_iso.Vf2.canon_of p) ms) in
+  String.concat ""
+    (List.map
+       (fun (ns, es) ->
+         Printf.sprintf "[%s|%s]"
+           (String.concat " " (List.map string_of_int ns))
+           (String.concat " "
+              (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) es)))
+       cs)
+
+let apply_edge ~ins ~del = function
+  | Digraph.Insert (u, v) -> ins u v
+  | Digraph.Delete (u, v) -> del u v
+
+(* ---- KWS ---------------------------------------------------------------- *)
+
+module Kws = struct
+  module I = Ig_kws.Inc_kws
+
+  type t = I.t
+  type query = Ig_kws.Batch.query
+
+  let name = "kws"
+  let init g q = I.init g q
+  let graph = I.graph
+  let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
+  let answer t = canon_nodes (I.match_roots t)
+  let recompute t = canon_nodes (Ig_kws.Batch.run (I.graph t) (I.query t))
+  let check_invariants = I.check_invariants
+end
+
+(* ---- RPQ ---------------------------------------------------------------- *)
+
+module Rpq = struct
+  module I = Ig_rpq.Inc_rpq
+
+  type t = { s : I.t; q : Ig_nfa.Regex.t }
+  type query = Ig_nfa.Regex.t
+
+  let name = "rpq"
+  let init g q = { s = I.create g q; q }
+  let graph t = I.graph t.s
+
+  let apply t =
+    apply_edge ~ins:(I.insert_edge t.s) ~del:(I.delete_edge t.s)
+
+  let answer t = canon_pairs (I.matches t.s)
+  let recompute t = canon_pairs (Ig_rpq.Batch.run_query (graph t) t.q)
+  let check_invariants t = I.check_invariants t.s
+end
+
+(* ---- SCC ---------------------------------------------------------------- *)
+
+module Scc = struct
+  module I = Ig_scc.Inc_scc
+
+  type t = I.t
+  type query = I.config
+
+  let name = "scc"
+  let init g config = I.init ~config g
+  let graph = I.graph
+  let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
+  let answer t = canon_comps (I.components t)
+  let recompute t = canon_comps (Ig_scc.Tarjan.scc (I.graph t))
+  let check_invariants = I.check_invariants
+end
+
+(* ---- Sim ---------------------------------------------------------------- *)
+
+module Sim = struct
+  module I = Ig_sim.Inc_sim
+
+  type t = I.t
+  type query = Ig_iso.Pattern.t
+
+  let name = "sim"
+  let init g p = I.init g p
+  let graph = I.graph
+  let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
+  let answer t = canon_pairs (Ig_sim.Sim.pairs (I.relation t))
+
+  let recompute t =
+    canon_pairs (Ig_sim.Sim.pairs (Ig_sim.Sim.run (I.pattern t) (I.graph t)))
+
+  let check_invariants = I.check_invariants
+end
+
+(* ---- ISO ---------------------------------------------------------------- *)
+
+module Iso = struct
+  module I = Ig_iso.Inc_iso
+
+  type t = I.t
+  type query = Ig_iso.Pattern.t
+
+  let name = "iso"
+  let init g p = I.init g p
+  let graph = I.graph
+  let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
+  let answer t = canon_mappings (I.pattern t) (I.matches t)
+
+  let recompute t =
+    canon_mappings (I.pattern t) (Ig_iso.Vf2.find_all (I.graph t) (I.pattern t))
+
+  let check_invariants = I.check_invariants
+end
+
+(* ---- packed constructors ------------------------------------------------ *)
+
+let kws g q = Oracle.Packed ((module Kws), Kws.init (Digraph.copy g) q)
+let rpq g q = Oracle.Packed ((module Rpq), Rpq.init (Digraph.copy g) q)
+
+let scc ?(config = Ig_scc.Inc_scc.inc_config) g =
+  Oracle.Packed ((module Scc), Scc.init (Digraph.copy g) config)
+
+let sim g p = Oracle.Packed ((module Sim), Sim.init (Digraph.copy g) p)
+let iso g p = Oracle.Packed ((module Iso), Iso.init (Digraph.copy g) p)
+let of_kws t = Oracle.Packed ((module Kws), t)

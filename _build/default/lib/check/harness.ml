@@ -1,0 +1,98 @@
+module Digraph = Ig_graph.Digraph
+
+type failure = {
+  algo : string;
+  seed : int;
+  step : int;
+  reason : string;
+  stream : Digraph.update list;
+  shrunk : Digraph.update list;
+}
+
+let replay_fails ~make stream =
+  match
+    let inst = make () in
+    Oracle.check inst;
+    List.iter
+      (fun u ->
+        Oracle.apply inst u;
+        Oracle.check inst)
+      stream
+  with
+  | () -> false
+  | exception _ -> true
+
+let run ~make ?(focus = []) ~steps ~seed () =
+  let inst = make () in
+  let algo = Oracle.name inst in
+  let fail step reason stream =
+    (* The recorded prefix must fail on a fresh replay before ddmin can
+       trust its verdicts; a non-reproducible failure (which a deterministic
+       [make] should never produce) is reported unshrunk. *)
+    let fails = replay_fails ~make in
+    let shrunk = if fails stream then Shrink.ddmin ~fails stream else stream in
+    Error { algo; seed; step; reason; stream; shrunk }
+  in
+  match Oracle.check inst with
+  | exception Oracle.Check_failed msg -> fail 0 msg []
+  | () ->
+      let rng = Random.State.make [| seed; 0xfa11 |] in
+      let stream = Stream.create ~rng ~focus (Oracle.graph inst) in
+      let applied = ref [] in
+      let rec go i =
+        if i > steps then Ok steps
+        else begin
+          let u = Stream.next stream in
+          applied := u :: !applied;
+          match
+            Oracle.apply inst u;
+            Oracle.check inst
+          with
+          | () -> go (i + 1)
+          | exception Oracle.Check_failed msg ->
+              fail i msg (List.rev !applied)
+          | exception e ->
+              fail i ("engine raised: " ^ Printexc.to_string e)
+                (List.rev !applied)
+        end
+      in
+      go 1
+
+let pp_update ppf = function
+  | Digraph.Insert (u, v) -> Format.fprintf ppf "Digraph.Insert (%d, %d)" u v
+  | Digraph.Delete (u, v) -> Format.fprintf ppf "Digraph.Delete (%d, %d)" u v
+
+let pp_stream ppf us =
+  Format.fprintf ppf "@[<hov 2>[ %a ]@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_update)
+    us
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>%s fuzz failure (seed %d) at step %d: %s@,\
+     failing stream: %d updates, shrunk to %d@,\
+     minimal reproducer:@,  %a@]"
+    f.algo f.seed f.step f.reason (List.length f.stream)
+    (List.length f.shrunk) pp_stream f.shrunk
+
+let save_failure ~dir ~base f =
+  let stem = Printf.sprintf "fuzz-%s-seed%d" f.algo f.seed in
+  let gpath = Filename.concat dir (stem ^ ".graph") in
+  let upath = Filename.concat dir (stem ^ ".updates") in
+  Ig_graph.Io.save gpath base;
+  let oc = open_out upath in
+  let line = function
+    | Digraph.Insert (u, v) -> Printf.fprintf oc "+ %d %d\n" u v
+    | Digraph.Delete (u, v) -> Printf.fprintf oc "- %d %d\n" u v
+  in
+  Printf.fprintf oc "# %s: %s\n# replay against %s\n" f.algo f.reason gpath;
+  List.iter line f.shrunk;
+  Printf.fprintf oc "# full failing stream (%d updates):\n"
+    (List.length f.stream);
+  List.iter
+    (function
+      | Digraph.Insert (u, v) -> Printf.fprintf oc "# + %d %d\n" u v
+      | Digraph.Delete (u, v) -> Printf.fprintf oc "# - %d %d\n" u v)
+    f.stream;
+  close_out oc;
+  (gpath, upath)

@@ -1,0 +1,52 @@
+(** The differential fuzzing harness.
+
+    Drives an oracle through a seeded random update stream, validating after
+    {e every} unit update that (1) the engine's auxiliary certificates pass
+    [check_invariants] and (2) the incremental answer equals a from-scratch
+    batch recomputation. On the first violation the failing prefix is
+    delta-debugged ({!Shrink.ddmin}) against fresh replays into a minimal
+    reproducer, reported both as a replayable OCaml value and as an
+    edge-list file. *)
+
+type failure = {
+  algo : string;
+  seed : int;
+  step : int;  (** 1-based step at which the violation surfaced; 0 = the
+                   post-init check already failed *)
+  reason : string;
+  stream : Ig_graph.Digraph.update list;  (** failing prefix, in order *)
+  shrunk : Ig_graph.Digraph.update list;  (** 1-minimal reproducer *)
+}
+
+val run :
+  make:(unit -> Oracle.packed) ->
+  ?focus:(Ig_graph.Digraph.node * Ig_graph.Digraph.node) list ->
+  steps:int ->
+  seed:int ->
+  unit ->
+  (int, failure) result
+(** [run ~make ~steps ~seed ()] checks the freshly made oracle, then
+    generates and applies [steps] unit updates, checking after each.
+    [make] must be deterministic — it is re-invoked for every shrinking
+    replay, so it has to rebuild an identical engine over an identical copy
+    of the base graph (including any deliberate corruption the caller
+    injects for mutation testing). Returns [Ok steps] on a clean run. *)
+
+val replay_fails : make:(unit -> Oracle.packed) -> Ig_graph.Digraph.update list -> bool
+(** Replay a concrete stream on a fresh oracle with per-step checks; [true]
+    iff some check fails or the engine crashes. (The predicate handed to
+    {!Shrink.ddmin}; exposed for tests.) *)
+
+val pp_stream : Format.formatter -> Ig_graph.Digraph.update list -> unit
+(** As a replayable OCaml value:
+    [\[ Digraph.Insert (0, 1); Digraph.Delete (2, 3) \]]. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val save_failure :
+  dir:string -> base:Ig_graph.Digraph.t -> failure -> string * string
+(** Persist reproduction artifacts: [fuzz-<algo>-seed<seed>.graph] (the base
+    graph in the {!Ig_graph.Io} text format) and
+    [fuzz-<algo>-seed<seed>.updates] (the shrunk stream, one [+ u v] /
+    [- u v] line per update, full stream appended as comments). Returns the
+    two paths. *)

@@ -1,0 +1,34 @@
+module type ORACLE = sig
+  type t
+  type query
+
+  val name : string
+  val init : Ig_graph.Digraph.t -> query -> t
+  val graph : t -> Ig_graph.Digraph.t
+  val apply : t -> Ig_graph.Digraph.update -> unit
+  val answer : t -> string
+  val recompute : t -> string
+  val check_invariants : t -> unit
+end
+
+type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
+
+let name (Packed ((module O), _)) = O.name
+let graph (Packed ((module O), t)) = O.graph t
+let apply (Packed ((module O), t)) u = O.apply t u
+let answer (Packed ((module O), t)) = O.answer t
+let recompute (Packed ((module O), t)) = O.recompute t
+let check_invariants (Packed ((module O), t)) = O.check_invariants t
+
+exception Check_failed of string
+
+let check inst =
+  (match check_invariants inst with
+  | () -> ()
+  | exception Failure msg -> raise (Check_failed ("invariant: " ^ msg)));
+  let inc = answer inst in
+  let batch = recompute inst in
+  if not (String.equal inc batch) then
+    raise
+      (Check_failed
+         (Printf.sprintf "answer mismatch: incremental=%s batch=%s" inc batch))

@@ -1,0 +1,59 @@
+(** Differential-testing oracles (the correctness backbone of the library).
+
+    The paper's guarantees are {e equivalence} claims: after any sequence of
+    edge insertions and deletions, an incremental engine must report exactly
+    the answer its batch counterpart computes from scratch on the updated
+    graph. An {!ORACLE} packages one engine together with that batch
+    recomputation behind a uniform face, so a single driver ({!Harness}) can
+    cross-check all five query classes under random update streams.
+
+    Answers are compared through a canonical string form: adapters sort and
+    print their answer sets, so equality is plain string equality and a
+    mismatch is immediately printable in a failure report. *)
+
+module type ORACLE = sig
+  type t
+  type query
+
+  val name : string
+  (** Short identifier used in reports ("kws", "scc", …). *)
+
+  val init : Ig_graph.Digraph.t -> query -> t
+  (** Build the engine by running the batch algorithm once. The oracle owns
+      the given graph afterwards — callers keep their own pristine copy. *)
+
+  val graph : t -> Ig_graph.Digraph.t
+  (** The live graph the engine maintains (updated by {!apply}). *)
+
+  val apply : t -> Ig_graph.Digraph.update -> unit
+  (** Apply one unit update incrementally (graph and auxiliary data). *)
+
+  val answer : t -> string
+  (** The engine's current answer, canonicalized. *)
+
+  val recompute : t -> string
+  (** The batch algorithm's answer on the current graph, canonicalized.
+      Must equal {!answer} whenever the engine is correct. *)
+
+  val check_invariants : t -> unit
+  (** The engine's own auxiliary-structure validation (certificates:
+      kdist lists, pmark entries, num/lowlink + ranks, counters).
+      @raise Failure on violation. *)
+end
+
+type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
+(** A first-class oracle instance, ready to drive. *)
+
+val name : packed -> string
+val graph : packed -> Ig_graph.Digraph.t
+val apply : packed -> Ig_graph.Digraph.update -> unit
+val answer : packed -> string
+val recompute : packed -> string
+val check_invariants : packed -> unit
+
+exception Check_failed of string
+(** Raised by {!check} with a human-readable explanation. *)
+
+val check : packed -> unit
+(** The full per-step validation: {!check_invariants}, then compare
+    {!answer} against {!recompute}. @raise Check_failed on any violation. *)

@@ -1,0 +1,15 @@
+(** Delta-debugging reduction of failing update streams (Zeller's ddmin).
+
+    Given a stream known to make a replay fail, find a 1-minimal
+    sub-stream — removing any single remaining update makes the failure
+    disappear. Replays are driven entirely through the [fails] callback, so
+    the shrinker is agnostic to what "failing" means (invariant violation,
+    answer mismatch, crash). *)
+
+val ddmin :
+  fails:(Ig_graph.Digraph.update list -> bool) ->
+  Ig_graph.Digraph.update list ->
+  Ig_graph.Digraph.update list
+(** [ddmin ~fails stream] assumes [fails stream = true] and returns a
+    1-minimal failing sub-stream (order preserved). If the assumption does
+    not hold the input is returned unchanged. *)

@@ -47,6 +47,15 @@ module Workload = struct
   module Queries = Ig_workload.Queries
 end
 
+module Check = struct
+  module Oracle = Ig_check.Oracle
+  module Adapters = Ig_check.Adapters
+  module Stream = Ig_check.Stream
+  module Shrink = Ig_check.Shrink
+  module Harness = Ig_check.Harness
+  module Scenarios = Ig_check.Scenarios
+end
+
 module type Session = sig
   type t
   type query

@@ -80,6 +80,18 @@ module Workload : sig
   module Queries = Ig_workload.Queries
 end
 
+module Check : sig
+  module Oracle = Ig_check.Oracle
+  module Adapters = Ig_check.Adapters
+  module Stream = Ig_check.Stream
+  module Shrink = Ig_check.Shrink
+  module Harness = Ig_check.Harness
+  module Scenarios = Ig_check.Scenarios
+end
+(** Differential oracle & fuzzing subsystem: every incremental engine
+    cross-checked against its batch counterpart under seeded random update
+    streams, with ddmin shrinking of failures (see [incgraph fuzz]). *)
+
 (** {1 Uniform sessions} *)
 
 (** The common shape of the four incremental engines: create once with the

@@ -386,6 +386,25 @@ let check_invariants t =
   if !count <> t.n_matches then
     fail "n_matches %d, expected %d" t.n_matches !count
 
+let corrupt_certificate_for_testing t =
+  (* Raw mutation, bypassing [set_entry] on purpose: the point is to plant
+     an inconsistency the validation layers must catch. *)
+  let rec go i =
+    if i >= m t then false
+    else
+      let kd = t.kd.(i) in
+      match
+        Hashtbl.fold
+          (fun v e acc -> match acc with None -> Some (v, e) | some -> some)
+          kd None
+      with
+      | Some (v, e) ->
+          Hashtbl.replace kd v { e with Batch.dist = e.Batch.dist + 1 };
+          true
+      | None -> go (i + 1)
+  in
+  go 0
+
 let match_cost t r =
   if not (is_match_root t r) then None
   else

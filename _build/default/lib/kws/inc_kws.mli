@@ -75,6 +75,14 @@ val check_invariants : t -> unit
     pointer is a valid shortest-path successor, and the root set matches.
     @raise Failure on violation. *)
 
+val corrupt_certificate_for_testing : t -> bool
+(** Mutation-testing hook: bump one stored kdist distance by one, leaving
+    all other state untouched, so the auxiliary structure no longer agrees
+    with the graph. Returns [false] if no entry exists to corrupt. A
+    subsequent {!check_invariants} must fail — the fuzz harness's mutation
+    smoke test asserts that the differential layer actually catches planted
+    certificate bugs. *)
+
 val set_bound : t -> int -> delta
 (** Change the hop bound [b] in place and return the resulting ΔO — the
     paper's Remark in Section 4.2. Raising the bound continues change

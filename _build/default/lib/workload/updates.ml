@@ -21,9 +21,21 @@ let generate ~rng g ~size ?(ratio = 1.0) () =
   let n_del = min n_del (Array.length edges) in
   let chosen = Hashtbl.create (2 * size) in
   let dels = ref [] in
-  for i = 0 to n_del - 1 do
-    Hashtbl.replace chosen edges.(i) ();
-    dels := Digraph.Delete (fst edges.(i), snd edges.(i)) :: !dels
+  (* Guard: only live edges, each at most once. The sample was just taken
+     from the graph so this holds by construction today, but the stream
+     contract ("never delete an absent edge") must survive refactors of the
+     sampling above — phantom deletions would silently turn into no-ops
+     downstream and skew every |ΔG|-controlled experiment. *)
+  let placed_del = ref 0 in
+  let i = ref 0 in
+  while !placed_del < n_del && !i < Array.length edges do
+    let ((u, v) as e) = edges.(!i) in
+    incr i;
+    if Digraph.mem_edge g u v && not (Hashtbl.mem chosen e) then begin
+      Hashtbl.replace chosen e ();
+      dels := Digraph.Delete (u, v) :: !dels;
+      incr placed_del
+    end
   done;
   (* Insertions: uniform non-edges, avoiding batch-internal conflicts. *)
   let inss = ref [] in
@@ -64,7 +76,10 @@ let generate_replay ~rng g ~size ?(ratio = 1.0) () =
   let dels = ref [] in
   for i = n_ins to n_ins + n_del - 1 do
     let u, v = edges.(i) in
-    dels := Digraph.Delete (u, v) :: !dels
+    (* Same guard as [generate]: the slots past [n_ins] were not removed
+       above, but deletions of absent edges must be impossible whatever the
+       sampling evolves into. *)
+    if Digraph.mem_edge g u v then dels := Digraph.Delete (u, v) :: !dels
   done;
   let all = Array.of_list (!inss @ !dels) in
   shuffle rng all;

@@ -6,9 +6,14 @@
 
     A batch never inserts and deletes the same edge (the assumption of
     Section 4.2), never inserts an existing edge, and never deletes an
-    absent one — so [size] unit updates all take effect. The updates are
-    generated against the given graph but NOT applied to it; benches apply
-    them to per-algorithm copies. *)
+    absent one — deletion candidates are re-checked against the live graph,
+    so [size] unit updates all take effect. The updates are generated
+    against the given graph but NOT applied to it; benches apply them to
+    per-algorithm copies.
+
+    Both generators are pure functions of the [rng] state and the graph:
+    the same seed over the same graph yields the identical stream (the fuzz
+    harness and the benchmarks both rely on this for replayability). *)
 
 val generate :
   rng:Random.State.t ->

@@ -1,0 +1,238 @@
+(* Differential fuzzing: every incremental engine cross-checked against its
+   batch oracle (kdist BFS, NFA-product reachability, Tarjan, the simulation
+   fixpoint, VF2) under seeded random update streams, with check_invariants
+   validating the auxiliary certificates after every unit update.
+
+   Tier-1 runs a bounded number of steps per algorithm inside `dune
+   runtest`; `dune build @fuzz` reruns the same cases as a soak (see
+   FUZZ_STEPS below). The mutation tests plant a bug — a corrupted kdist
+   certificate entry, then an engine that drops certain deletions — and
+   assert the harness both detects it and ddmin-shrinks the failing stream
+   to a minimal reproducer. *)
+
+open Ig_graph
+module O = Ig_check.Oracle
+module A = Ig_check.Adapters
+module St = Ig_check.Stream
+module Sh = Ig_check.Shrink
+module H = Ig_check.Harness
+module Sc = Ig_check.Scenarios
+
+let check = Alcotest.check
+
+(* Tier-1 bound: 400 mixed insert/delete steps per algorithm. The @fuzz
+   alias overrides via FUZZ_STEPS for soak runs. *)
+let steps =
+  match Sys.getenv_opt "FUZZ_STEPS" with
+  | Some s -> ( try int_of_string s with Failure _ -> 400)
+  | None -> 400
+
+(* ---- differential fuzz, one case per algorithm -------------------------- *)
+
+let scenario_case (name, seed) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %d steps vs batch oracle" name steps)
+    `Quick
+    (fun () ->
+      let rng = Random.State.make [| 0x90; seed |] in
+      match Sc.by_name ~rng name with
+      | None -> Alcotest.failf "unknown scenario %s" name
+      | Some s -> (
+          match
+            H.run ~make:s.Sc.make ~focus:s.Sc.focus ~steps ~seed ()
+          with
+          | Ok n -> check Alcotest.int "steps completed" steps n
+          | Error f -> Alcotest.failf "%a" H.pp_failure f))
+
+let scenario_cases =
+  List.map scenario_case
+    [
+      ("kws", 101);
+      ("rpq", 102);
+      ("scc", 103);
+      ("sim", 104);
+      ("iso", 105);
+      (* The Fig. 9 two-cycle gadget: the stream keeps toggling the Δ1/Δ2
+         bridge edges whose interaction the RPQ unboundedness proof turns
+         on. *)
+      ("gadget", 106);
+    ]
+
+(* ---- stream driver ------------------------------------------------------ *)
+
+let test_stream_deterministic () =
+  let run () =
+    let grng = Random.State.make [| 99 |] in
+    let g = Ig_workload.Generate.uniform ~rng:grng ~nodes:20 ~edges:50 ~labels:3 in
+    let st =
+      St.create ~rng:(Random.State.make [| 123 |]) ~focus:[ (0, 1); (2, 3) ] g
+    in
+    let us = ref [] in
+    for _ = 1 to 300 do
+      let u = St.next st in
+      ignore (Digraph.apply g u);
+      us := u :: !us
+    done;
+    List.rev !us
+  in
+  check Alcotest.bool "same seed, same stream" true (run () = run ())
+
+let test_stream_mixes_ops () =
+  let grng = Random.State.make [| 7 |] in
+  let g = Ig_workload.Generate.uniform ~rng:grng ~nodes:15 ~edges:40 ~labels:3 in
+  let st = St.create ~rng:(Random.State.make [| 5 |]) g in
+  let ins = ref 0 and del = ref 0 and noop = ref 0 and loops = ref 0 in
+  for _ = 1 to 500 do
+    let u = St.next st in
+    (match u with
+    | Digraph.Insert (a, b) ->
+        incr ins;
+        if a = b then incr loops
+    | Digraph.Delete _ -> incr del);
+    if not (Digraph.apply g u) then incr noop
+  done;
+  check Alcotest.bool "inserts present" true (!ins > 100);
+  check Alcotest.bool "deletes present" true (!del > 100);
+  check Alcotest.bool "no-ops exercised (dups, absent deletes)" true (!noop > 10);
+  check Alcotest.bool "self-loops exercised" true (!loops > 0)
+
+(* ---- ddmin -------------------------------------------------------------- *)
+
+let test_ddmin_pure () =
+  (* Failure needs the pair {x, y}; everything else is noise. *)
+  let x = Digraph.Insert (1, 2) and y = Digraph.Delete (3, 4) in
+  let noise i = Digraph.Insert (100 + i, 200 + i) in
+  let stream =
+    List.init 12 noise @ [ x ] @ List.init 9 (fun i -> noise (50 + i)) @ [ y ]
+    @ List.init 7 (fun i -> noise (80 + i))
+  in
+  let fails s = List.mem x s && List.mem y s in
+  check Alcotest.bool "shrinks to the pair" true
+    (Sh.ddmin ~fails stream = [ x; y ]);
+  check Alcotest.bool "non-failing input unchanged" true
+    (Sh.ddmin ~fails:(fun _ -> false) stream = stream)
+
+(* ---- mutation smoke tests ----------------------------------------------- *)
+
+(* Corrupt one kdist certificate entry after init; the harness's invariant
+   check must flag it (the differential layer proves it catches planted
+   auxiliary-structure bugs, not just output bugs). *)
+let test_mutation_kdist_detected () =
+  let g = Digraph.create () in
+  let k = Digraph.add_node g "key" in
+  let a = Digraph.add_node g "x" in
+  let b = Digraph.add_node g "x" in
+  ignore (Digraph.add_edge g a k);
+  ignore (Digraph.add_edge g b a);
+  ignore (Digraph.add_edge g k b);
+  let q = { Ig_kws.Batch.keywords = [ "key" ]; bound = 2 } in
+  let make () =
+    let t = Ig_kws.Inc_kws.init (Digraph.copy g) q in
+    if not (Ig_kws.Inc_kws.corrupt_certificate_for_testing t) then
+      Alcotest.fail "no kdist entry to corrupt";
+    A.of_kws t
+  in
+  match H.run ~make ~steps:40 ~seed:7 () with
+  | Ok _ -> Alcotest.fail "planted kdist corruption went undetected"
+  | Error f ->
+      check Alcotest.int "caught by the post-init check" 0 f.H.step;
+      check Alcotest.bool "invariant violation reported" true
+        (String.length f.H.reason > 0);
+      check Alcotest.bool "shrunk to <= 10 updates" true
+        (List.length f.H.shrunk <= 10)
+
+(* A deliberately buggy engine: deletions of edges leaving node 0 are
+   dropped on the floor, so the maintained answer drifts from the truth.
+   The engine stays internally consistent — check_invariants cannot see the
+   bug; only the differential comparison can. The harness must catch the
+   first divergence and ddmin the stream to a minimal reproducer. *)
+module Buggy_scc = struct
+  module I = Ig_scc.Inc_scc
+
+  type t = { eng : I.t; truth : Digraph.t }
+  type query = unit
+
+  let name = "buggy-scc"
+  let init g () = { eng = I.init (Digraph.copy g); truth = g }
+  let graph t = t.truth
+
+  let apply t u =
+    ignore (Digraph.apply t.truth u);
+    match u with
+    | Digraph.Delete (0, _) -> () (* the planted bug *)
+    | Digraph.Insert (a, b) -> I.insert_edge t.eng a b
+    | Digraph.Delete (a, b) -> I.delete_edge t.eng a b
+
+  let answer t = A.canon_comps (I.components t.eng)
+  let recompute t = A.canon_comps (Ig_scc.Tarjan.scc t.truth)
+  let check_invariants t = I.check_invariants t.eng
+end
+
+let test_mutation_buggy_engine_shrinks () =
+  let g = Digraph.create () in
+  for _ = 0 to 5 do
+    ignore (Digraph.add_node g "x")
+  done;
+  List.iter
+    (fun (u, v) -> ignore (Digraph.add_edge g u v))
+    [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 3); (2, 3) ];
+  let make () =
+    O.Packed ((module Buggy_scc), Buggy_scc.init (Digraph.copy g) ())
+  in
+  match H.run ~make ~focus:[ (0, 1) ] ~steps:200 ~seed:5 () with
+  | Ok _ -> Alcotest.fail "planted divergence went undetected"
+  | Error f ->
+      check Alcotest.bool "nonempty reproducer" true (f.H.shrunk <> []);
+      check Alcotest.bool "shrunk to <= 10 updates" true
+        (List.length f.H.shrunk <= 10);
+      check Alcotest.bool "reproducer replays to a failure" true
+        (H.replay_fails ~make f.H.shrunk);
+      (* 1-minimality: removing any single update loses the failure. *)
+      List.iteri
+        (fun i _ ->
+          let sub = List.filteri (fun j _ -> j <> i) f.H.shrunk in
+          check Alcotest.bool
+            (Printf.sprintf "1-minimal (drop %d)" i)
+            false (H.replay_fails ~make sub))
+        f.H.shrunk
+
+(* ---- harness replay plumbing -------------------------------------------- *)
+
+let test_clean_replay_passes () =
+  let rng = Random.State.make [| 31 |] in
+  let s = Option.get (Sc.by_name ~rng "scc") in
+  (* A healthy engine must replay any recorded stream without failing. *)
+  let st =
+    St.create ~rng:(Random.State.make [| 77 |]) (Digraph.copy s.Sc.base)
+  in
+  let g = Digraph.copy s.Sc.base in
+  let us = ref [] in
+  for _ = 1 to 100 do
+    let u = St.next st in
+    ignore (Digraph.apply g u);
+    us := u :: !us
+  done;
+  check Alcotest.bool "no false positives" false
+    (H.replay_fails ~make:s.Sc.make (List.rev !us))
+
+let () =
+  Alcotest.run "ig_check"
+    [
+      ("differential fuzz", scenario_cases);
+      ( "stream driver",
+        [
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          Alcotest.test_case "op mix" `Quick test_stream_mixes_ops;
+        ] );
+      ("ddmin", [ Alcotest.test_case "pure shrink" `Quick test_ddmin_pure ]);
+      ( "mutation",
+        [
+          Alcotest.test_case "kdist corruption detected" `Quick
+            test_mutation_kdist_detected;
+          Alcotest.test_case "buggy engine shrunk" `Quick
+            test_mutation_buggy_engine_shrinks;
+        ] );
+      ( "replay",
+        [ Alcotest.test_case "clean replay" `Quick test_clean_replay_passes ]
+      );
+    ]

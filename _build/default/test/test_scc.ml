@@ -273,6 +273,102 @@ let test_inc_configs_agree () =
   check comps_t "inc = incn" a b;
   check comps_t "inc = dyn" a c
 
+(* ---- deletion fast-path edge cases -------------------------------------- *)
+
+let test_inc_self_loop_singleton () =
+  (* A self-loop is an intra-component edge of a singleton: inserting and
+     deleting it must never touch the output. *)
+  let t = engine 3 [ (0, 1) ] in
+  I.insert_edge t 2 2;
+  let d = I.flush_delta t in
+  check Alcotest.int "loop insert stable" 0
+    (List.length d.removed + List.length d.added);
+  assert_sound "singleton loop insert" t;
+  I.delete_edge t 2 2;
+  let d = I.flush_delta t in
+  check Alcotest.int "loop delete stable" 0
+    (List.length d.removed + List.length d.added);
+  assert_sound "singleton loop delete" t
+
+let test_inc_self_loop_in_component () =
+  (* Self-loop inside a 3-cycle component: it is never the tree arc into its
+     endpoint (a DFS parent is always a distinct node), so deleting it can
+     never split, whether or not it was a lowlink witness. *)
+  let t = engine 3 [ (0, 1); (1, 2); (2, 0); (1, 1) ] in
+  check Alcotest.int "one component" 1 (I.n_components t);
+  I.delete_edge t 1 1;
+  let d = I.flush_delta t in
+  check Alcotest.int "stable" 0 (List.length d.removed + List.length d.added);
+  assert_sound "loop delete inside scc" t;
+  I.insert_edge t 1 1;
+  assert_sound "loop re-insert inside scc" t;
+  check Alcotest.int "still one component" 1 (I.n_components t)
+
+let test_inc_duplicate_insert_then_delete () =
+  (* The digraph is simple, so a duplicate insertion collapses into the
+     existing edge; the later deletion removes the edge for real and must
+     split — the lazy certificate recorded at init (which used (0,1) as a
+     tree arc or witness) has to notice despite the no-op in between. *)
+  let t = engine 3 [ (0, 1); (1, 2); (2, 0) ] in
+  I.insert_edge t 0 1 (* duplicate: no-op *);
+  assert_sound "after duplicate insert" t;
+  I.delete_edge t 0 1;
+  let d = I.flush_delta t in
+  check_comps "split after real delete" [ [ 0 ]; [ 1 ]; [ 2 ] ] d.added;
+  assert_sound "after real delete" t;
+  I.insert_edge t 0 1;
+  assert_sound "after re-insert" t;
+  check Alcotest.int "merged back" 1 (I.n_components t)
+
+let test_inc_delete_fast_path_witness_count () =
+  (* Complete digraph on 4 nodes: 12 intra-component edges, of which at most
+     3 are DFS tree arcs and at most 4 are recorded lowlink witnesses
+     (Wdirect is one edge per node). Deleting each edge on a fresh engine —
+     every deletion keeps the component strongly connected — must therefore
+     resolve at least 12 - 3 - 4 = 5 deletions through the O(1) witness
+     check, whatever DFS order init happened to record. *)
+  let all_edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v -> if u <> v then Some (u, v) else None)
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  check Alcotest.int "K4 edge count" 12 (List.length all_edges);
+  let fast = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      let t = engine 4 all_edges in
+      I.reset_stats t;
+      I.delete_edge t u v;
+      let d = I.flush_delta t in
+      check Alcotest.int "still strongly connected" 0
+        (List.length d.removed + List.length d.added);
+      assert_sound "K4 single delete" t;
+      fast := !fast + (I.stats t).I.fast_deletes)
+    all_edges;
+  check Alcotest.bool "O(1) witness check exercised" true (!fast >= 5)
+
+let test_inc_fast_path_disabled_in_dyn () =
+  (* The DynSCC stand-in pays a local recomputation instead: same outputs,
+     zero fast deletes on the identical workload. *)
+  let all_edges = [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ] in
+  let fast config =
+    let n = ref 0 in
+    List.iter
+      (fun (u, v) ->
+        let t = engine ~config 3 all_edges in
+        I.reset_stats t;
+        I.delete_edge t u v;
+        assert_sound "dense triangle delete" t;
+        n := !n + (I.stats t).I.fast_deletes)
+      all_edges;
+    !n
+  in
+  check Alcotest.bool "inc uses the fast path" true (fast I.inc_config >= 1);
+  check Alcotest.int "dyn never does" 0 (fast I.dyn_config)
+
 (* ---- randomized properties --------------------------------------------- *)
 
 let gen_graph_and_updates =
@@ -399,6 +495,19 @@ let () =
           Alcotest.test_case "split then merge" `Quick test_inc_split_then_merge;
           Alcotest.test_case "add node" `Quick test_inc_add_node;
           Alcotest.test_case "no-ops" `Quick test_inc_duplicate_ops_are_noops;
+        ] );
+      ( "deletion fast path",
+        [
+          Alcotest.test_case "self-loop on singleton" `Quick
+            test_inc_self_loop_singleton;
+          Alcotest.test_case "self-loop inside component" `Quick
+            test_inc_self_loop_in_component;
+          Alcotest.test_case "duplicate insert then delete" `Quick
+            test_inc_duplicate_insert_then_delete;
+          Alcotest.test_case "witness check count (K4)" `Quick
+            test_inc_delete_fast_path_witness_count;
+          Alcotest.test_case "disabled in DynSCC" `Quick
+            test_inc_fast_path_disabled_in_dyn;
         ] );
       ( "inc batch",
         [

@@ -110,6 +110,50 @@ let test_updates_no_conflicts () =
       Hashtbl.replace seen e ())
     ups
 
+let test_updates_deterministic () =
+  (* Same seed over the same graph ⇒ the identical stream, element for
+     element — the fuzz harness replays shrunk reproducers on this
+     guarantee. *)
+  let mk () = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:600 ~labels:4 in
+  let u1 = U.generate ~rng:(rng ()) (mk ()) ~size:150 () in
+  let u2 = U.generate ~rng:(rng ()) (mk ()) ~size:150 () in
+  check Alcotest.bool "generate: same seed, same stream" true (u1 = u2);
+  (* generate_replay mutates its graph, so give each call its own copy. *)
+  let r1 = U.generate_replay ~rng:(rng ()) (mk ()) ~size:150 () in
+  let r2 = U.generate_replay ~rng:(rng ()) (mk ()) ~size:150 () in
+  check Alcotest.bool "generate_replay: same seed, same stream" true (r1 = r2)
+
+(* Every deletion a generator emits must target an edge present when it is
+   applied — the guard re-checks candidates against the live graph, so a
+   batch never contains a no-op (the starving sparse graph is the case that
+   used to slip absent-edge deletions through). *)
+let assert_batch_effective name base ups =
+  let live = Digraph.copy base in
+  List.iter
+    (fun up ->
+      (match up with
+      | Digraph.Delete (u, v) ->
+          check Alcotest.bool (name ^ ": deletes a present edge") true
+            (Digraph.mem_edge live u v)
+      | Digraph.Insert (u, v) ->
+          check Alcotest.bool (name ^ ": inserts an absent edge") false
+            (Digraph.mem_edge live u v));
+      check Alcotest.bool (name ^ ": update takes effect") true
+        (Digraph.apply live up))
+    ups
+
+let test_updates_delete_present_edges () =
+  let sparse () = G.uniform ~rng:(rng ()) ~nodes:50 ~edges:10 ~labels:2 in
+  let g = sparse () in
+  let ups = U.generate ~rng:(Random.State.make [| 9 |]) g ~size:200 () in
+  assert_batch_effective "generate" g ups;
+  (* generate_replay's base is the graph as mutated by the call itself. *)
+  let g' = sparse () in
+  let ups' =
+    U.generate_replay ~rng:(Random.State.make [| 9 |]) g' ~size:200 ()
+  in
+  assert_batch_effective "generate_replay" g' ups'
+
 let test_kws_query () =
   let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:400 ~labels:5 in
   let q = Q.kws ~rng:(rng ()) g ~m:3 ~b:2 in
@@ -177,6 +221,9 @@ let () =
           Alcotest.test_case "shape" `Quick test_updates_shape;
           Alcotest.test_case "ratio" `Quick test_updates_ratio;
           Alcotest.test_case "no conflicts" `Quick test_updates_no_conflicts;
+          Alcotest.test_case "deterministic" `Quick test_updates_deterministic;
+          Alcotest.test_case "deletes present edges" `Quick
+            test_updates_delete_present_edges;
         ] );
       ( "queries",
         [

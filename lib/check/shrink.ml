@@ -1,0 +1,55 @@
+(* Zeller–Hildebrandt ddmin over update lists. The subject sequences are
+   short (a failing prefix of a fuzz run) and the test function replays a
+   whole stream, so the classic O(n²) worst case is perfectly affordable. *)
+
+let split_chunks xs n =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec go i xs acc =
+    if i >= n then List.rev acc
+    else begin
+      let k = base + if i < extra then 1 else 0 in
+      let rec take k xs acc =
+        if k = 0 then (List.rev acc, xs)
+        else
+          match xs with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> take (k - 1) tl (x :: acc)
+      in
+      let chunk, rest = take k xs [] in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 xs []
+
+let ddmin ~fails stream =
+  if stream = [] || not (fails stream) then stream
+  else begin
+    let rec go cs n =
+      let len = List.length cs in
+      if len < 2 then cs
+      else begin
+        let chunks = split_chunks cs n in
+        (* Reduce to subset. *)
+        match List.find_opt (fun c -> c <> [] && fails c) chunks with
+        | Some c -> go c 2
+        | None -> (
+            (* Reduce to complement. *)
+            let complement i =
+              List.concat (List.filteri (fun j _ -> j <> i) chunks)
+            in
+            let rec try_compl i =
+              if i >= n then None
+              else begin
+                let c = complement i in
+                if List.length c < len && fails c then Some c
+                else try_compl (i + 1)
+              end
+            in
+            match try_compl 0 with
+            | Some c -> go c (max (n - 1) 2)
+            | None -> if n < len then go cs (min len (2 * n)) else cs)
+      end
+    in
+    go stream 2
+  end

@@ -1,0 +1,75 @@
+module Digraph = Ig_graph.Digraph
+
+type t = {
+  rng : Random.State.t;
+  g : Digraph.t;
+  focus : (Digraph.node * Digraph.node) array;
+  mutable deleted : (Digraph.node * Digraph.node) list;
+      (* most recent first, capped *)
+  mutable n_deleted : int;
+}
+
+let deleted_cap = 32
+
+let create ~rng ?(focus = []) g =
+  { rng; g; focus = Array.of_list focus; deleted = []; n_deleted = 0 }
+
+let remember_deleted t e =
+  t.deleted <- e :: t.deleted;
+  t.n_deleted <- t.n_deleted + 1;
+  if t.n_deleted > deleted_cap then begin
+    t.deleted <- List.filteri (fun i _ -> i < deleted_cap) t.deleted;
+    t.n_deleted <- deleted_cap
+  end
+
+let random_edge t =
+  let es = Array.of_list (Digraph.edges t.g) in
+  es.(Random.State.int t.rng (Array.length es))
+
+(* Op mix (probability windows over one uniform draw):
+     focus toggle   0.10   (only when focus edges were supplied)
+     delete         0.40   (existing edge, uniform)
+     re-insert      0.12   (recently deleted edge)
+     duplicate ins  0.05   (existing edge — no-op)
+     absent delete  0.05   (random pair — usually a no-op)
+     fresh insert   rest   (random pair; self-loop with prob 0.1)
+   Skipped windows (no focus / no edges / nothing deleted yet) fall through
+   to the fresh-insert default, keeping the draw count per step fixed at
+   most 3 — determinism only needs the draws to be a function of the seed
+   and the live graph state. *)
+let next t =
+  let g = t.g in
+  let n = Digraph.n_nodes g in
+  if n = 0 then invalid_arg "Stream.next: empty graph";
+  let r = Random.State.float t.rng 1.0 in
+  let has_edges = Digraph.n_edges g > 0 in
+  if Array.length t.focus > 0 && r < 0.10 then begin
+    let u, v = t.focus.(Random.State.int t.rng (Array.length t.focus)) in
+    if Digraph.mem_edge g u v then begin
+      remember_deleted t (u, v);
+      Digraph.Delete (u, v)
+    end
+    else Digraph.Insert (u, v)
+  end
+  else if r < 0.50 && has_edges then begin
+    let u, v = random_edge t in
+    remember_deleted t (u, v);
+    Digraph.Delete (u, v)
+  end
+  else if r < 0.62 && t.deleted <> [] then begin
+    let u, v = List.nth t.deleted (Random.State.int t.rng t.n_deleted) in
+    Digraph.Insert (u, v)
+  end
+  else if r < 0.67 && has_edges then begin
+    let u, v = random_edge t in
+    Digraph.Insert (u, v)
+  end
+  else if r < 0.72 then
+    Digraph.Delete (Random.State.int t.rng n, Random.State.int t.rng n)
+  else begin
+    let u = Random.State.int t.rng n in
+    let v =
+      if Random.State.float t.rng 1.0 < 0.10 then u else Random.State.int t.rng n
+    in
+    Digraph.Insert (u, v)
+  end
