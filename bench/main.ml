@@ -17,6 +17,13 @@
      --reps N        repetitions averaged per point (default 1)
      --seed N        RNG seed (default 2017)
      --quota S       bechamel time quota per micro-bench (default 0.5s)
+     --out PATH      BENCH json output path (default BENCH_incgraph.json)
+
+   Besides the tables printed to stdout, every data point is recorded —
+   timings, per-engine Obs counter snapshots (measured |AFF|, |CHANGED|,
+   work counters) and speedups against the batch baseline — into a
+   schema-versioned json report (see lib/obs/report.ml and
+   EXPERIMENTS.md).
 
    Absolute numbers are not comparable to the paper's (different machine,
    language, graph sizes); the reproduction target is the shape: who wins,
@@ -33,9 +40,18 @@ type config = {
   mutable reps : int;
   mutable seed : int;
   mutable quota : float;
+  mutable out : string;
 }
 
-let cfg = { selected = []; scale = 0.25; reps = 1; seed = 2017; quota = 0.5 }
+let cfg =
+  {
+    selected = [];
+    scale = 0.25;
+    reps = 1;
+    seed = 2017;
+    quota = 0.5;
+    out = "BENCH_incgraph.json";
+  }
 
 let parse_args () =
   let rec go = function
@@ -55,6 +71,9 @@ let parse_args () =
     | "--quota" :: v :: rest ->
         cfg.quota <- float_of_string v;
         go rest
+    | "--out" :: v :: rest ->
+        cfg.out <- v;
+        go rest
     | a :: _ -> failwith ("unknown argument " ^ a)
   in
   go (List.tl (Array.to_list Sys.argv))
@@ -67,13 +86,68 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let avg_time reps f =
-  let total = ref 0.0 in
-  for i = 1 to reps do
-    let _, t = f i in
-    total := !total +. t
-  done;
-  !total /. float_of_int reps
+(* ---- measurement cells and the json report -------------------------------- *)
+
+module Obs = Core.Obs
+module Report = Core.Obs.Report
+module Json = Core.Obs.Json
+
+(* One series of one data point: the timed run plus the Obs counter
+   snapshot of the engine that produced it (empty for batch baselines,
+   which maintain no auxiliary structures to account for). *)
+type cell = { time : float; ctrs : (string * int) list }
+
+let cell_times = List.map (fun c -> c.time)
+
+let merge_ctrs a b =
+  let keys = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.map
+    (fun k ->
+      ( k,
+        Option.value ~default:0 (List.assoc_opt k a)
+        + Option.value ~default:0 (List.assoc_opt k b) ))
+    keys
+
+let cell_add a b = { time = a.time +. b.time; ctrs = merge_ctrs a.ctrs b.ctrs }
+
+let cell_scale reps c =
+  {
+    time = c.time /. float_of_int reps;
+    ctrs = List.map (fun (k, v) -> (k, v / reps)) c.ctrs;
+  }
+
+(* Build an engine against a fresh metrics registry, run the workload, and
+   snapshot what it cost. Construction is outside the timed section (the
+   incremental problem takes the old output as given) but inside the
+   registry's lifetime, so counters cover exactly this cell's updates. *)
+let measured mk apply =
+  let o = Obs.create () in
+  let s = mk o in
+  Obs.reset o;
+  let t = snd (time (fun () -> apply s)) in
+  { time = t; ctrs = Obs.counters o }
+
+let report = ref None
+
+let record ~id ~title ~x ~series ?(batch = -1) cells =
+  match !report with
+  | None -> ()
+  | Some r ->
+      let e = Report.experiment r ~id ~title in
+      let timings = List.map2 (fun s c -> (s, c.time)) series cells in
+      let counters = List.map2 (fun s c -> (s, c.ctrs)) series cells in
+      let speedup =
+        if batch < 0 then []
+        else
+          let bt = (List.nth cells batch).time in
+          List.concat
+            (List.mapi
+               (fun i (s, c) ->
+                 if i = batch then []
+                 else [ (s, bt /. Float.max 1e-9 c.time) ])
+               (List.combine series cells))
+      in
+      Report.add_point e ~x ~timings ~counters ~speedup ()
 
 (* ---- table printing ------------------------------------------------------- *)
 
@@ -205,61 +279,65 @@ let batch_time g ups run =
          run g'))
 
 let kws_point g q ups =
-  let inc =
-    avg_time 1 (fun _ ->
-        let s = Core.Kws.Inc.init ~grouped:true (D.copy g) q in
-        time (fun () -> ignore (Core.Kws.Inc.apply_batch s ups)))
+  let run grouped =
+    measured
+      (fun o -> Core.Kws.Inc.init ~grouped ~obs:o (D.copy g) q)
+      (fun s -> ignore (Core.Kws.Inc.apply_batch s ups))
   in
-  let incn =
-    avg_time 1 (fun _ ->
-        let s = Core.Kws.Inc.init ~grouped:false (D.copy g) q in
-        time (fun () -> ignore (Core.Kws.Inc.apply_batch s ups)))
+  let inc = run true in
+  let incn = run false in
+  let batch =
+    { time = batch_time g ups (fun g' -> ignore (Core.Kws.Batch.run g' q));
+      ctrs = [] }
   in
-  let batch = batch_time g ups (fun g' -> ignore (Core.Kws.Batch.run g' q)) in
   [ inc; incn; batch ]
 
 let rpq_point g q ups =
   let a = Core.Nfa.compile (D.interner g) q in
-  let inc =
-    avg_time 1 (fun _ ->
-        let s = Core.Rpq.Inc.init ~grouped:true (D.copy g) a in
-        time (fun () -> ignore (Core.Rpq.Inc.apply_batch s ups)))
+  let run grouped =
+    measured
+      (fun o -> Core.Rpq.Inc.init ~grouped ~obs:o (D.copy g) a)
+      (fun s -> ignore (Core.Rpq.Inc.apply_batch s ups))
   in
-  let incn =
-    avg_time 1 (fun _ ->
-        let s = Core.Rpq.Inc.init ~grouped:false (D.copy g) a in
-        time (fun () -> ignore (Core.Rpq.Inc.apply_batch s ups)))
+  let inc = run true in
+  let incn = run false in
+  let batch =
+    { time = batch_time g ups (fun g' -> ignore (Core.Rpq.Batch.run g' a));
+      ctrs = [] }
   in
-  let batch = batch_time g ups (fun g' -> ignore (Core.Rpq.Batch.run g' a)) in
   [ inc; incn; batch ]
 
 let scc_point g ups =
   let with_config config =
-    avg_time 1 (fun _ ->
-        let s = Core.Scc.Inc.init ~config (D.copy g) in
-        time (fun () -> ignore (Core.Scc.Inc.apply_batch s ups)))
+    measured
+      (fun o -> Core.Scc.Inc.init ~config ~obs:o (D.copy g))
+      (fun s -> ignore (Core.Scc.Inc.apply_batch s ups))
   in
   let inc = with_config Core.Scc.Inc.inc_config in
   let incn = with_config Core.Scc.Inc.incn_config in
-  let batch = batch_time g ups (fun g' -> ignore (Core.Scc.Tarjan.scc g')) in
+  let batch =
+    { time = batch_time g ups (fun g' -> ignore (Core.Scc.Tarjan.scc g'));
+      ctrs = [] }
+  in
   let dyn = with_config Core.Scc.Inc.dyn_config in
   [ inc; incn; batch; dyn ]
 
 let iso_point g p ups =
-  let inc =
-    avg_time 1 (fun _ ->
-        let s = Core.Iso.Inc.init ~grouped:true (D.copy g) p in
-        time (fun () -> ignore (Core.Iso.Inc.apply_batch s ups)))
+  let run grouped =
+    measured
+      (fun o -> Core.Iso.Inc.init ~grouped ~obs:o (D.copy g) p)
+      (fun s -> ignore (Core.Iso.Inc.apply_batch s ups))
   in
-  let incn =
-    avg_time 1 (fun _ ->
-        let s = Core.Iso.Inc.init ~grouped:false (D.copy g) p in
-        time (fun () -> ignore (Core.Iso.Inc.apply_batch s ups)))
+  let inc = run true in
+  let incn = run false in
+  let batch =
+    { time = batch_time g ups (fun g' -> ignore (Core.Iso.Vf2.find_all g' p));
+      ctrs = [] }
   in
-  let batch = batch_time g ups (fun g' -> ignore (Core.Iso.Vf2.find_all g' p)) in
   [ inc; incn; batch ]
 
-(* Average a point over cfg.reps distinct update batches. *)
+(* Average a point over cfg.reps distinct update batches (counters are
+   averaged alongside the timings). *)
 let averaged point_of pct g =
   let acc = ref None in
   for rep = 1 to cfg.reps do
@@ -269,9 +347,9 @@ let averaged point_of pct g =
       Some
         (match !acc with
         | None -> cells
-        | Some prev -> List.map2 ( +. ) prev cells)
+        | Some prev -> List.map2 cell_add prev cells)
   done;
-  List.map (fun x -> x /. float_of_int cfg.reps) (Option.get !acc)
+  List.map (cell_scale cfg.reps) (Option.get !acc)
 
 (* ---- Exp-1: runtime vs |ΔG| ------------------------------------------------ *)
 
@@ -303,16 +381,21 @@ let exp1 ~figure ~cls ~profile =
         (Printf.sprintf "%d%%" pct, averaged point pct g))
       delta_percents
   in
-  print_table
-    ~title:
-      (Printf.sprintf "Fig 8(%s) — %s varying |ΔG| (%s)"
-         (String.sub figure 4 1)
-         (match cls with
-         | `Kws -> "KWS" | `Rpq -> "RPQ" | `Scc -> "SCC" | `Iso -> "ISO")
-         profile.W.Profiles.name)
-    ~xlabel:"|ΔG|/|G|" ~series rows;
   let batch_col = match cls with `Scc -> 2 | _ -> List.length series - 1 in
-  report_crossover ~inc:0 ~batch:batch_col rows
+  let title =
+    Printf.sprintf "Fig 8(%s) — %s varying |ΔG| (%s)"
+      (String.sub figure 4 1)
+      (match cls with
+      | `Kws -> "KWS" | `Rpq -> "RPQ" | `Scc -> "SCC" | `Iso -> "ISO")
+      profile.W.Profiles.name
+  in
+  List.iter
+    (fun (x, cells) ->
+      record ~id:figure ~title ~x ~series ~batch:batch_col cells)
+    rows;
+  let trows = List.map (fun (x, cells) -> (x, cell_times cells)) rows in
+  print_table ~title ~xlabel:"|ΔG|/|G|" ~series trows;
+  report_crossover ~inc:0 ~batch:batch_col trows
 
 (* ---- Exp-2: query complexity ------------------------------------------------ *)
 
@@ -328,8 +411,13 @@ let exp2_kws () =
         (Printf.sprintf "(%d,%d)" m b, kws_point base q ups))
       [ (2, 1); (3, 2); (4, 3); (5, 4); (6, 5) ]
   in
-  print_table ~title:"Fig 8(j) — KWS varying (m,b), |ΔG| = 10% (dbpedia)"
-    ~xlabel:"(m,b)" ~series:[ "IncKWS"; "IncKWSn"; "BLINKS" ] rows
+  let title = "Fig 8(j) — KWS varying (m,b), |ΔG| = 10% (dbpedia)" in
+  let series = [ "IncKWS"; "IncKWSn"; "BLINKS" ] in
+  List.iter
+    (fun (x, cells) -> record ~id:"fig8j" ~title ~x ~series ~batch:2 cells)
+    rows;
+  print_table ~title ~xlabel:"(m,b)" ~series
+    (List.map (fun (x, cells) -> (x, cell_times cells)) rows)
 
 let exp2_rpq () =
   let g = instantiate W.Profiles.dbpedia_like in
@@ -343,8 +431,13 @@ let exp2_rpq () =
         (string_of_int size, rpq_point base q ups))
       [ 3; 4; 5; 6; 7 ]
   in
-  print_table ~title:"Fig 8(k) — RPQ varying |Q|, |ΔG| = 10% (dbpedia)"
-    ~xlabel:"|Q|" ~series:[ "IncRPQ"; "IncRPQn"; "RPQNFA" ] rows
+  let title = "Fig 8(k) — RPQ varying |Q|, |ΔG| = 10% (dbpedia)" in
+  let series = [ "IncRPQ"; "IncRPQn"; "RPQNFA" ] in
+  List.iter
+    (fun (x, cells) -> record ~id:"fig8k" ~title ~x ~series ~batch:2 cells)
+    rows;
+  print_table ~title ~xlabel:"|Q|" ~series
+    (List.map (fun (x, cells) -> (x, cell_times cells)) rows)
 
 let exp2_iso () =
   let g = instantiate W.Profiles.dbpedia_like in
@@ -359,9 +452,13 @@ let exp2_iso () =
           iso_point base p ups ))
       [ (3, 5); (4, 6); (5, 7); (6, 8); (7, 9) ]
   in
-  print_table
-    ~title:"Fig 8(l) — ISO varying (|VQ|,|EQ|,dQ), |ΔG| = 10% (dbpedia)"
-    ~xlabel:"(V,E,d)" ~series:[ "IncISO"; "IncISOn"; "VF2" ] rows
+  let title = "Fig 8(l) — ISO varying (|VQ|,|EQ|,dQ), |ΔG| = 10% (dbpedia)" in
+  let series = [ "IncISO"; "IncISOn"; "VF2" ] in
+  List.iter
+    (fun (x, cells) -> record ~id:"fig8l" ~title ~x ~series ~batch:2 cells)
+    rows;
+  print_table ~title ~xlabel:"(V,E,d)" ~series
+    (List.map (fun (x, cells) -> (x, cell_times cells)) rows)
 
 (* ---- Exp-3: runtime vs |G| --------------------------------------------------- *)
 
@@ -408,13 +505,19 @@ let exp3 ~figure ~cls =
     | `Scc -> [ "IncSCC"; "IncSCCn"; "Tarjan"; "DynSCC" ]
     | `Iso -> [ "IncISO"; "IncISOn"; "VF2" ]
   in
-  print_table
-    ~title:
-      (Printf.sprintf "Fig 8(%s) — %s varying |G| (synthetic, |ΔG| fixed)"
-         (String.sub figure 4 1)
-         (match cls with
-         | `Kws -> "KWS" | `Rpq -> "RPQ" | `Scc -> "SCC" | `Iso -> "ISO"))
-    ~xlabel:"scale" ~series rows
+  let batch_col = match cls with `Scc -> 2 | _ -> List.length series - 1 in
+  let title =
+    Printf.sprintf "Fig 8(%s) — %s varying |G| (synthetic, |ΔG| fixed)"
+      (String.sub figure 4 1)
+      (match cls with
+      | `Kws -> "KWS" | `Rpq -> "RPQ" | `Scc -> "SCC" | `Iso -> "ISO")
+  in
+  List.iter
+    (fun (x, cells) ->
+      record ~id:figure ~title ~x ~series ~batch:batch_col cells)
+    rows;
+  print_table ~title ~xlabel:"scale" ~series
+    (List.map (fun (x, cells) -> (x, cell_times cells)) rows)
 
 (* ---- unit updates (Exp-1(5)) -------------------------------------------------- *)
 
@@ -495,8 +598,12 @@ let opt_gain () =
   let ratio name cells =
     match cells with
     | inc :: incn :: _ ->
-        Format.printf "%-6s IncX %.4fs  IncXn %.4fs  gain %.2fx@." name inc incn
-          (incn /. Float.max 1e-9 inc)
+        record ~id:"opt_gain" ~title:"IncX vs IncXn at |ΔG| = 10%" ~x:name
+          ~series:[ "IncX"; "IncXn" ]
+          [ inc; incn ];
+        Format.printf "%-6s IncX %.4fs  IncXn %.4fs  gain %.2fx@." name
+          inc.time incn.time
+          (incn.time /. Float.max 1e-9 inc.time)
     | _ -> ()
   in
   ratio "KWS" (kws_point base (pick_kws g 3 2) ups);
@@ -697,6 +804,19 @@ let () =
     | [] -> List.map fst experiments
     | sel -> sel
   in
+  report :=
+    Some
+      (Report.create ~tool:"incgraph-bench"
+         ~config:
+           [
+             ("scale", Json.Float cfg.scale);
+             ("reps", Json.Int cfg.reps);
+             ("seed", Json.Int cfg.seed);
+             ("quota", Json.Float cfg.quota);
+             ( "experiments",
+               Json.Arr (List.map (fun id -> Json.Str id) wanted) );
+           ]
+         ());
   Format.printf
     "incgraph bench — scale %.2f, reps %d, seed %d@.reproducing: %s@."
     cfg.scale cfg.reps cfg.seed
@@ -711,4 +831,7 @@ let () =
               Format.printf "[%s FAILED: %s]@." id (Printexc.to_string e))
       | None -> Format.printf "unknown experiment %s (skipped)@." id)
     wanted;
-  Format.printf "@.all experiments complete.@."
+  (match !report with
+  | Some r -> Report.write ~path:cfg.out r
+  | None -> ());
+  Format.printf "@.all experiments complete; report written to %s@." cfg.out

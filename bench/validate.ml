@@ -1,0 +1,53 @@
+(* Validate a BENCH_*.json report against the current schema.
+
+   Usage: dune exec bench/validate.exe -- FILE [FILE...]
+   Exits nonzero on the first file that fails to parse or validate. Used by
+   the @bench-smoke alias to guarantee that what bench/main.exe writes is
+   what lib/obs/report.ml promises. *)
+
+module Json = Core.Obs.Json
+module Report = Core.Obs.Report
+
+let check path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  match Json.parse src with
+  | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
+  | Ok json -> (
+      match Report.validate json with
+      | Error e -> Error (Printf.sprintf "%s: schema violation: %s" path e)
+      | Ok () ->
+          let n_exp, n_pts =
+            match Json.member "experiments" json with
+            | Some (Json.Arr exps) ->
+                ( List.length exps,
+                  List.fold_left
+                    (fun acc e ->
+                      match Json.member "points" e with
+                      | Some (Json.Arr ps) -> acc + List.length ps
+                      | _ -> acc)
+                    0 exps )
+            | _ -> (0, 0)
+          in
+          Ok (n_exp, n_pts))
+
+let () =
+  let files =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] ->
+        prerr_endline "usage: validate FILE.json [FILE.json...]";
+        exit 2
+    | fs -> fs
+  in
+  List.iter
+    (fun path ->
+      match check path with
+      | Ok (n_exp, n_pts) ->
+          Printf.printf "%s: valid (schema v%d, %d experiments, %d points)\n"
+            path Report.schema_version n_exp n_pts
+      | Error msg ->
+          prerr_endline msg;
+          exit 1)
+    files

@@ -5,6 +5,8 @@
      query      answer one query with the batch algorithm
      stream     maintain a query incrementally over a random update stream
      fuzz       differential soak: incremental engines vs batch oracles
+     bench      incremental vs batch on one query, with cost counters
+     stats      cost-accounting snapshot of one incremental session
 
    Examples:
      incgraph generate -p dbpedia -s 0.1 -o kg.txt
@@ -12,7 +14,9 @@
      incgraph query -g kg.txt kws -b 2 actor award
      incgraph query -g kg.txt scc
      incgraph stream -g kg.txt --batches 5 --size 500 kws -b 2 actor award
-     incgraph fuzz --algo scc --steps 5000 --seed 2017 *)
+     incgraph fuzz --algo scc --steps 5000 --seed 2017
+     incgraph bench -g kg.txt --size 500 --json scc
+     incgraph stats -g kg.txt --json kws -b 2 actor award *)
 
 open Cmdliner
 
@@ -241,6 +245,192 @@ let stream_cmd =
         (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
        $ size $ ratio $ seed_arg))
 
+(* ---- bench / stats --------------------------------------------------------- *)
+
+module Obs = Core.Obs
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable json instead of text.")
+
+let size_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "size" ] ~doc:"Unit updates per batch." ~docv:"N")
+
+(* Build an incremental engine over a copy of [g] with a live metrics
+   registry. Returns the registry, the batch-apply entry point, the batch
+   counterpart (for speedups), and the two series names. *)
+let session_with_obs g spec =
+  let o = Obs.create () in
+  let copy = Core.Digraph.copy g in
+  match spec with
+  | Qkws q ->
+      let s = Core.Kws.Inc.init ~obs:o copy q in
+      ( o,
+        (fun ups -> ignore (Core.Kws.Inc.apply_batch s ups)),
+        (fun g' -> ignore (Core.Kws.Batch.run g' q)),
+        "IncKWS", "BLINKS" )
+  | Qrpq q ->
+      let a = Core.Nfa.compile (Core.Digraph.interner g) q in
+      let s = Core.Rpq.Inc.init ~obs:o copy a in
+      ( o,
+        (fun ups -> ignore (Core.Rpq.Inc.apply_batch s ups)),
+        (fun g' -> ignore (Core.Rpq.Batch.run g' a)),
+        "IncRPQ", "RPQNFA" )
+  | Qscc ->
+      let s = Core.Scc.Inc.init ~obs:o copy in
+      ( o,
+        (fun ups -> ignore (Core.Scc.Inc.apply_batch s ups)),
+        (fun g' -> ignore (Core.Scc.Tarjan.scc g')),
+        "IncSCC", "Tarjan" )
+  | Qiso (labels, edges) ->
+      let p = Core.Iso.Pattern.create ~labels ~edges in
+      let s = Core.Iso.Inc.init ~obs:o copy p in
+      ( o,
+        (fun ups -> ignore (Core.Iso.Inc.apply_batch s ups)),
+        (fun g' -> ignore (Core.Iso.Vf2.find_all g' p)),
+        "IncISO", "VF2" )
+
+let bench_cmd =
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~doc:"Update batches to measure." ~docv:"N")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~doc:"Write the json report to $(docv)."
+          ~docv:"FILE")
+  in
+  let run path cls bound args size reps seed json out =
+    match qspec_of ~cls ~bound ~args with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
+        let g = Core.Io.load path in
+        let rng = Random.State.make [| seed |] in
+        let report =
+          Obs.Report.create ~tool:"incgraph-cli"
+            ~config:
+              [
+                ("graph", Obs.Json.Str path);
+                ("class", Obs.Json.Str cls);
+                ("size", Obs.Json.Int size);
+                ("reps", Obs.Json.Int reps);
+                ("seed", Obs.Json.Int seed);
+              ]
+            ()
+        in
+        let e =
+          Obs.Report.experiment report ~id:("bench-" ^ cls)
+            ~title:(Printf.sprintf "%s: incremental vs batch, |ΔG| = %d" cls size)
+        in
+        for rep = 1 to reps do
+          let base = Core.Digraph.copy g in
+          let ups =
+            Core.Workload.Updates.generate_replay ~rng base ~size ()
+          in
+          let o, apply, batch_run, inc_name, batch_name =
+            session_with_obs base spec
+          in
+          let (), ti = time (fun () -> apply ups) in
+          let gb = Core.Digraph.copy base in
+          let (), tb =
+            time (fun () ->
+                Core.Digraph.apply_batch gb ups;
+                batch_run gb)
+          in
+          let ctrs = Obs.counters o in
+          Obs.Report.add_point e
+            ~x:(string_of_int rep)
+            ~timings:[ (inc_name, ti); (batch_name, tb) ]
+            ~counters:[ (inc_name, ctrs) ]
+            ~speedup:[ (inc_name, tb /. Float.max 1e-9 ti) ]
+            ();
+          if not json then
+            Format.printf
+              "rep %d: %s %.4fs  %s %.4fs  speedup %.1fx  |AFF|=%d  \
+               |CHANGED|=%d@."
+              rep inc_name ti batch_name tb
+              (tb /. Float.max 1e-9 ti)
+              (Option.value ~default:0 (List.assoc_opt Obs.K.aff ctrs))
+              (Option.value ~default:0 (List.assoc_opt Obs.K.changed ctrs))
+        done;
+        (match out with
+        | Some path ->
+            Obs.Report.write ~path report;
+            if not json then Format.printf "report written to %s@." path
+        | None ->
+            if json then
+              print_endline
+                (Obs.Json.to_string ~indent:true (Obs.Report.to_json report)));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure one incremental engine against its batch counterpart on a \
+          random update batch, reporting wall-clock timings and the cost \
+          counters of the paper's model (measured |AFF|, |CHANGED|, work \
+          counters). With $(b,--json), emits a schema-versioned BENCH \
+          report.")
+    Term.(
+      ret
+        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ size_arg
+       $ reps $ seed_arg $ json_flag $ out))
+
+let stats_cmd =
+  let batches =
+    Arg.(
+      value & opt int 5
+      & info [ "batches" ] ~doc:"Update batches to apply." ~docv:"N")
+  in
+  let run path cls bound args batches size seed json =
+    match qspec_of ~cls ~bound ~args with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
+        let g = Core.Io.load path in
+        let rng = Random.State.make [| seed |] in
+        let o, apply, _, inc_name, _ = session_with_obs g spec in
+        for _ = 1 to batches do
+          let ups = Core.Workload.Updates.generate ~rng g ~size () in
+          Core.Digraph.apply_batch g ups (* keep generator in sync *);
+          apply ups
+        done;
+        if json then
+          print_endline (Obs.Json.to_string ~indent:true (Obs.to_json o))
+        else begin
+          Format.printf "%s after %d batches of %d unit updates:@." inc_name
+            batches size;
+          List.iter
+            (fun (k, v) -> Format.printf "  %-16s %10d@." k v)
+            (Obs.counters o);
+          List.iter
+            (fun (k, (n, s)) ->
+              Format.printf "  span %-11s %10d calls %9.4fs@." k n s)
+            (Obs.spans o);
+          let aff = Obs.counter o Obs.K.aff in
+          let changed = Obs.counter o Obs.K.changed in
+          if changed > 0 then
+            Format.printf "  |AFF| / |CHANGED| = %.2f@."
+              (float_of_int aff /. float_of_int changed)
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Drive one incremental session over a random update stream and dump \
+          its metrics registry: cost counters (measured |AFF|, |CHANGED|, \
+          work counters) and span timings, as text or json.")
+    Term.(
+      ret
+        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
+       $ size_arg $ seed_arg $ json_flag))
+
 (* ---- fuzz ----------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -333,4 +523,13 @@ let () =
       ~doc:"Incremental graph computations: doable and undoable (SIGMOD'17)."
   in
   exit
-    (Cmd.eval (Cmd.group info [ generate_cmd; query_cmd; stream_cmd; fuzz_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            query_cmd;
+            stream_cmd;
+            fuzz_cmd;
+            bench_cmd;
+            stats_cmd;
+          ]))

@@ -1,4 +1,5 @@
 module Digraph = Ig_graph.Digraph
+module Obs = Ig_obs.Obs
 
 (* ---- canonical answer forms -------------------------------------------- *)
 
@@ -45,12 +46,13 @@ module Kws = struct
   type query = Ig_kws.Batch.query
 
   let name = "kws"
-  let init g q = I.init g q
+  let init g q = I.init ~obs:(Obs.create ()) g q
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_nodes (I.match_roots t)
   let recompute t = canon_nodes (Ig_kws.Batch.run (I.graph t) (I.query t))
   let check_invariants = I.check_invariants
+  let obs = I.obs
 end
 
 (* ---- RPQ ---------------------------------------------------------------- *)
@@ -62,7 +64,7 @@ module Rpq = struct
   type query = Ig_nfa.Regex.t
 
   let name = "rpq"
-  let init g q = { s = I.create g q; q }
+  let init g q = { s = I.create ~obs:(Obs.create ()) g q; q }
   let graph t = I.graph t.s
 
   let apply t =
@@ -71,6 +73,7 @@ module Rpq = struct
   let answer t = canon_pairs (I.matches t.s)
   let recompute t = canon_pairs (Ig_rpq.Batch.run_query (graph t) t.q)
   let check_invariants t = I.check_invariants t.s
+  let obs t = I.obs t.s
 end
 
 (* ---- SCC ---------------------------------------------------------------- *)
@@ -82,12 +85,13 @@ module Scc = struct
   type query = I.config
 
   let name = "scc"
-  let init g config = I.init ~config g
+  let init g config = I.init ~config ~obs:(Obs.create ()) g
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_comps (I.components t)
   let recompute t = canon_comps (Ig_scc.Tarjan.scc (I.graph t))
   let check_invariants = I.check_invariants
+  let obs = I.obs
 end
 
 (* ---- Sim ---------------------------------------------------------------- *)
@@ -99,7 +103,7 @@ module Sim = struct
   type query = Ig_iso.Pattern.t
 
   let name = "sim"
-  let init g p = I.init g p
+  let init g p = I.init ~obs:(Obs.create ()) g p
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_pairs (Ig_sim.Sim.pairs (I.relation t))
@@ -108,6 +112,7 @@ module Sim = struct
     canon_pairs (Ig_sim.Sim.pairs (Ig_sim.Sim.run (I.pattern t) (I.graph t)))
 
   let check_invariants = I.check_invariants
+  let obs = I.obs
 end
 
 (* ---- ISO ---------------------------------------------------------------- *)
@@ -119,7 +124,7 @@ module Iso = struct
   type query = Ig_iso.Pattern.t
 
   let name = "iso"
-  let init g p = I.init g p
+  let init g p = I.init ~obs:(Obs.create ()) g p
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_mappings (I.pattern t) (I.matches t)
@@ -128,6 +133,7 @@ module Iso = struct
     canon_mappings (I.pattern t) (Ig_iso.Vf2.find_all (I.graph t) (I.pattern t))
 
   let check_invariants = I.check_invariants
+  let obs = I.obs
 end
 
 (* ---- packed constructors ------------------------------------------------ *)

@@ -13,10 +13,12 @@ let replay_fails ~make stream =
   match
     let inst = make () in
     Oracle.check inst;
+    let prev = ref (Ig_obs.Obs.counters (Oracle.obs inst)) in
     List.iter
       (fun u ->
         Oracle.apply inst u;
-        Oracle.check inst)
+        Oracle.check inst;
+        prev := Oracle.check_metrics ~prev:!prev inst)
       stream
   with
   | () -> false
@@ -39,6 +41,7 @@ let run ~make ?(focus = []) ~steps ~seed () =
       let rng = Random.State.make [| seed; 0xfa11 |] in
       let stream = Stream.create ~rng ~focus (Oracle.graph inst) in
       let applied = ref [] in
+      let prev = ref (Ig_obs.Obs.counters (Oracle.obs inst)) in
       let rec go i =
         if i > steps then Ok steps
         else begin
@@ -46,7 +49,8 @@ let run ~make ?(focus = []) ~steps ~seed () =
           applied := u :: !applied;
           match
             Oracle.apply inst u;
-            Oracle.check inst
+            Oracle.check inst;
+            prev := Oracle.check_metrics ~prev:!prev inst
           with
           | () -> go (i + 1)
           | exception Oracle.Check_failed msg ->

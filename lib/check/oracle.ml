@@ -9,6 +9,7 @@ module type ORACLE = sig
   val answer : t -> string
   val recompute : t -> string
   val check_invariants : t -> unit
+  val obs : t -> Ig_obs.Obs.t
 end
 
 type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
@@ -19,6 +20,7 @@ let apply (Packed ((module O), t)) u = O.apply t u
 let answer (Packed ((module O), t)) = O.answer t
 let recompute (Packed ((module O), t)) = O.recompute t
 let check_invariants (Packed ((module O), t)) = O.check_invariants t
+let obs (Packed ((module O), t)) = O.obs t
 
 exception Check_failed of string
 
@@ -32,3 +34,26 @@ let check inst =
     raise
       (Check_failed
          (Printf.sprintf "answer mismatch: incremental=%s batch=%s" inc batch))
+
+let check_metrics ~prev inst =
+  let o = obs inst in
+  let depth = Ig_obs.Obs.span_depth o in
+  if depth <> 0 then
+    raise
+      (Check_failed
+         (Printf.sprintf "metrics: %d span(s) still open after step" depth));
+  let cur = Ig_obs.Obs.counters o in
+  List.iter
+    (fun (k, v) ->
+      match List.assoc_opt k cur with
+      | Some v' when v' >= v -> ()
+      | Some v' ->
+          raise
+            (Check_failed
+               (Printf.sprintf "metrics: counter %s decreased %d -> %d" k v v'))
+      | None ->
+          raise
+            (Check_failed
+               (Printf.sprintf "metrics: counter %s disappeared (was %d)" k v)))
+    prev;
+  cur

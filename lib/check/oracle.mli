@@ -39,6 +39,11 @@ module type ORACLE = sig
   (** The engine's own auxiliary-structure validation (certificates:
       kdist lists, pmark entries, num/lowlink + ranks, counters).
       @raise Failure on violation. *)
+
+  val obs : t -> Ig_obs.Obs.t
+  (** The engine's metrics sink. Adapters create engines with a live
+      registry so the harness can validate the metrics invariants
+      alongside the answers. *)
 end
 
 type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
@@ -50,10 +55,18 @@ val apply : packed -> Ig_graph.Digraph.update -> unit
 val answer : packed -> string
 val recompute : packed -> string
 val check_invariants : packed -> unit
+val obs : packed -> Ig_obs.Obs.t
 
 exception Check_failed of string
-(** Raised by {!check} with a human-readable explanation. *)
+(** Raised by {!check} and {!check_metrics} with a human-readable
+    explanation. *)
 
 val check : packed -> unit
 (** The full per-step validation: {!check_invariants}, then compare
     {!answer} against {!recompute}. @raise Check_failed on any violation. *)
+
+val check_metrics : prev:(string * int) list -> packed -> (string * int) list
+(** Validate the metrics invariants after a step: counters never decrease
+    (relative to the [prev] snapshot) and every span opened during the step
+    was closed. Returns the current counter snapshot, to be threaded as
+    [prev] into the next call. @raise Check_failed on violation. *)

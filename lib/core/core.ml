@@ -1,3 +1,9 @@
+module Obs = struct
+  include Ig_obs.Obs
+  module Json = Ig_obs.Json
+  module Report = Ig_obs.Report
+end
+
 module Digraph = Ig_graph.Digraph
 module Interner = Ig_graph.Interner
 module Traverse = Ig_graph.Traverse

@@ -25,6 +25,20 @@
 
 (** {1 Substrate} *)
 
+(** Cost-accounting observability: the metrics registry every incremental
+    engine reports into (counters for measured |AFF| and |CHANGED|, scoped
+    spans, timers), plus the JSON substrate and the schema-versioned BENCH
+    report format built on it. Pass [Obs.create ()] as [?obs] at engine
+    creation to enable measurement; the default sink is a no-op. *)
+module Obs : sig
+  include module type of struct
+    include Ig_obs.Obs
+  end
+
+  module Json = Ig_obs.Json
+  module Report = Ig_obs.Report
+end
+
 module Digraph = Ig_graph.Digraph
 module Interner = Ig_graph.Interner
 module Traverse = Ig_graph.Traverse

@@ -1,5 +1,6 @@
 module Digraph = Ig_graph.Digraph
 module Traverse = Ig_graph.Traverse
+module Obs = Ig_obs.Obs
 
 type node = Digraph.node
 
@@ -10,6 +11,7 @@ type stats = { mutable ball_nodes : int; mutable rematches : int }
 type t = {
   g : Digraph.t;
   p : Pattern.t;
+  obs : Obs.t;
   grouped : bool;
   dq : int;
   matches : (Vf2.canon, Vf2.mapping) Hashtbl.t;
@@ -22,6 +24,7 @@ type t = {
 let graph t = t.g
 let pattern t = t.p
 let stats t = t.st
+let obs t = t.obs
 
 let reset_stats t =
   t.st.ball_nodes <- 0;
@@ -68,6 +71,7 @@ let remove_match t c =
 let flush_delta t =
   let added = Hashtbl.fold (fun _ m acc -> m :: acc) t.gained [] in
   let removed = Hashtbl.fold (fun _ m acc -> m :: acc) t.lost [] in
+  Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
   { added; removed }
@@ -77,6 +81,9 @@ let process_delete t e =
   | None -> ()
   | Some set ->
       let cs = Hashtbl.fold (fun c () acc -> c :: acc) set [] in
+      let n = List.length cs in
+      Obs.add t.obs Obs.K.aff n;
+      Obs.add t.obs Obs.K.cert_rewrites n;
       List.iter (fun c -> remove_match t c) cs
 
 (* Localized re-match: VF2 confined to the d_Q-neighborhood of the inserted
@@ -86,37 +93,55 @@ let process_inserts t endpoints =
     let ball = Traverse.ball t.g endpoints ~d:t.dq in
     t.st.ball_nodes <- t.st.ball_nodes + Hashtbl.length ball;
     t.st.rematches <- t.st.rematches + 1;
+    Obs.add t.obs Obs.K.nodes_visited (Hashtbl.length ball);
+    Obs.incr t.obs "rematches";
+    let before = Hashtbl.length t.matches in
     Vf2.iter_matches ~allowed:(fun v -> Hashtbl.mem ball v) t.g t.p (fun m ->
         let c = Vf2.canon_of t.p m in
-        add_match t c m)
+        add_match t c m);
+    let fresh = Hashtbl.length t.matches - before in
+    Obs.add t.obs Obs.K.aff fresh;
+    Obs.add t.obs Obs.K.cert_rewrites fresh
   end
 
 let insert_edge t u v =
-  if Digraph.add_edge t.g u v then process_inserts t [ u; v ]
+  if Digraph.add_edge t.g u v then begin
+    Obs.note_changed_input t.obs 1;
+    process_inserts t [ u; v ]
+  end
 
 let delete_edge t u v =
-  if Digraph.remove_edge t.g u v then process_delete t (u, v)
+  if Digraph.remove_edge t.g u v then begin
+    Obs.note_changed_input t.obs 1;
+    process_delete t (u, v)
+  end
 
 let apply_batch t updates =
   (* Deletions first (paper step (1)), then insertions. *)
-  let inserted = ref [] in
-  List.iter
-    (fun up ->
-      match up with
-      | Digraph.Delete (u, v) ->
-          if Digraph.remove_edge t.g u v then process_delete t (u, v)
-      | Digraph.Insert _ -> ())
-    updates;
-  List.iter
-    (fun up ->
-      match up with
-      | Digraph.Insert (u, v) ->
-          if Digraph.add_edge t.g u v then
-            if t.grouped then inserted := u :: v :: !inserted
-            else process_inserts t [ u; v ]
-      | Digraph.Delete _ -> ())
-    updates;
-  if t.grouped then process_inserts t !inserted;
+  Obs.with_span t.obs "iso.process" (fun () ->
+      let inserted = ref [] in
+      List.iter
+        (fun up ->
+          match up with
+          | Digraph.Delete (u, v) ->
+              if Digraph.remove_edge t.g u v then begin
+                Obs.note_changed_input t.obs 1;
+                process_delete t (u, v)
+              end
+          | Digraph.Insert _ -> ())
+        updates;
+      List.iter
+        (fun up ->
+          match up with
+          | Digraph.Insert (u, v) ->
+              if Digraph.add_edge t.g u v then begin
+                Obs.note_changed_input t.obs 1;
+                if t.grouped then inserted := u :: v :: !inserted
+                else process_inserts t [ u; v ]
+              end
+          | Digraph.Delete _ -> ())
+        updates;
+      if t.grouped then process_inserts t !inserted);
   flush_delta t
 
 let add_node t label =
@@ -129,11 +154,12 @@ let add_node t label =
   end;
   v
 
-let init ?(grouped = true) g p =
+let init ?(grouped = true) ?(obs = Obs.noop) g p =
   let t =
     {
       g;
       p;
+      obs;
       grouped;
       dq = Pattern.diameter p;
       matches = Hashtbl.create 256;

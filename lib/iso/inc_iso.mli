@@ -30,12 +30,18 @@ type stats = {
 
 type t
 
-val init : ?grouped:bool -> Ig_graph.Digraph.t -> Pattern.t -> t
+val init : ?grouped:bool -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Pattern.t -> t
 (** Enumerate [Q(G)] once with VF2 and index it. The session owns the graph
-    afterwards. *)
+    afterwards. [obs] (default {!Ig_obs.Obs.noop}) receives cost counters:
+    [aff] (matches created or destroyed — the measured |AFF|),
+    [cert_rewrites], [nodes_visited] (d_Q-neighborhood sizes), [rematches]
+    (VF2 invocations), and [changed] = |ΔG| + |ΔO|. *)
 
 val graph : t -> Ig_graph.Digraph.t
 val pattern : t -> Pattern.t
+
+val obs : t -> Ig_obs.Obs.t
+(** The metrics sink the session was created with. *)
 
 val add_node : t -> string -> node
 (** A fresh node (matches only single-node patterns until edges arrive). *)

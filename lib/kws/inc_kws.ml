@@ -1,4 +1,5 @@
 module Digraph = Ig_graph.Digraph
+module Obs = Ig_obs.Obs
 
 type node = Digraph.node
 
@@ -21,6 +22,7 @@ type t = {
   g : Digraph.t;
   mutable q : Batch.query;
   grouped : bool;
+  obs : Obs.t;
   syms : Ig_graph.Interner.symbol array; (* keyword symbols, query order *)
   kd : (node, Batch.entry) Hashtbl.t array;
   mcount : (node, int) Hashtbl.t; (* node -> #keywords within bound *)
@@ -34,6 +36,7 @@ type t = {
 let graph t = t.g
 let query t = t.q
 let stats t = t.st
+let obs t = t.obs
 
 let reset_stats t =
   t.st.affected <- 0;
@@ -74,6 +77,7 @@ let flush_delta t =
   let added = Hashtbl.fold (fun v () acc -> v :: acc) t.gained [] in
   let removed = Hashtbl.fold (fun v () acc -> v :: acc) t.lost [] in
   let rewired = Hashtbl.fold (fun e () acc -> e :: acc) t.rewired [] in
+  Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
   Hashtbl.reset t.rewired;
@@ -97,9 +101,11 @@ let process_keyword t i ~dels ~inss =
     dels;
   while not (Stack.is_empty stack) do
     let v = Stack.pop stack in
+    Obs.incr t.obs Obs.K.nodes_visited;
     if (not (Hashtbl.mem affected v)) && Hashtbl.mem kd v then begin
       Hashtbl.replace affected v ();
       t.st.affected <- t.st.affected + 1;
+      Obs.incr t.obs Obs.K.aff;
       Digraph.iter_pred
         (fun u ->
           match Hashtbl.find_opt kd u with
@@ -116,13 +122,17 @@ let process_keyword t i ~dels ~inss =
       let best = ref max_int in
       Digraph.iter_succ
         (fun w ->
+          Obs.incr t.obs Obs.K.edges_relaxed;
           if not (Hashtbl.mem affected w) then
             match Hashtbl.find_opt kd w with
             | Some e when e.Batch.dist + 1 < !best -> best := e.Batch.dist + 1
             | _ -> ())
         t.g v;
       remove_entry t i v;
-      if !best <= b then PQ.insert q v !best)
+      if !best <= b then begin
+        Obs.incr t.obs Obs.K.queue_pushes;
+        PQ.insert q v !best
+      end)
     affected;
   (* Insertions with unaffected endpoints (IncKWS phase (b)). *)
   List.iter
@@ -137,7 +147,10 @@ let process_keyword t i ~dels ~inss =
               match Hashtbl.find_opt kd v with
               | Some ev -> ev.Batch.dist > cand
               | None -> true
-            then PQ.insert q v cand
+            then begin
+              Obs.incr t.obs Obs.K.queue_pushes;
+              PQ.insert q v cand
+            end
         | None -> ())
     inss;
   (* Phase 3 (lines 10-14): settle exact values in increasing order. *)
@@ -145,6 +158,7 @@ let process_keyword t i ~dels ~inss =
     match PQ.pull_min q with
     | None -> ()
     | Some (v, d) ->
+        Obs.incr t.obs Obs.K.nodes_visited;
         let stale =
           match Hashtbl.find_opt kd v with
           | Some e -> e.Batch.dist <= d
@@ -155,6 +169,7 @@ let process_keyword t i ~dels ~inss =
           let next = ref (-1) in
           Digraph.iter_succ
             (fun w ->
+              Obs.incr t.obs Obs.K.edges_relaxed;
               match Hashtbl.find_opt kd w with
               | Some e when e.Batch.dist = d - 1 && (!next = -1 || w < !next)
                 ->
@@ -165,8 +180,10 @@ let process_keyword t i ~dels ~inss =
           set_entry t i v { Batch.dist = d; next = !next };
           Hashtbl.replace t.rewired (v, i) ();
           t.st.settled <- t.st.settled + 1;
+          Obs.incr t.obs Obs.K.cert_rewrites;
           Digraph.iter_pred
             (fun u ->
+              Obs.incr t.obs Obs.K.edges_relaxed;
               let cand = d + 1 in
               if
                 cand <= b
@@ -174,7 +191,10 @@ let process_keyword t i ~dels ~inss =
                 match Hashtbl.find_opt kd u with
                 | Some e -> e.Batch.dist > cand
                 | None -> true
-              then PQ.insert q u cand)
+              then begin
+                Obs.incr t.obs Obs.K.queue_pushes;
+                PQ.insert q u cand
+              end)
             t.g v
         end;
         fix ()
@@ -182,18 +202,23 @@ let process_keyword t i ~dels ~inss =
   fix ()
 
 let process_all t ~dels ~inss =
-  for i = 0 to m t - 1 do
-    process_keyword t i ~dels ~inss
-  done
+  Obs.with_span t.obs "kws.process" (fun () ->
+      for i = 0 to m t - 1 do
+        process_keyword t i ~dels ~inss
+      done)
 
 let apply_effective t updates =
   List.filter_map
     (fun up ->
-      match up with
-      | Digraph.Insert (u, v) ->
-          if Digraph.add_edge t.g u v then Some (`I, (u, v)) else None
-      | Digraph.Delete (u, v) ->
-          if Digraph.remove_edge t.g u v then Some (`D, (u, v)) else None)
+      let eff =
+        match up with
+        | Digraph.Insert (u, v) ->
+            if Digraph.add_edge t.g u v then Some (`I, (u, v)) else None
+        | Digraph.Delete (u, v) ->
+            if Digraph.remove_edge t.g u v then Some (`D, (u, v)) else None
+      in
+      if eff <> None then Obs.note_changed_input t.obs 1;
+      eff)
     updates
 
 let split_effective eff =
@@ -217,10 +242,16 @@ let apply_batch t updates =
   flush_delta t
 
 let insert_edge t u v =
-  if Digraph.add_edge t.g u v then process_all t ~dels:[] ~inss:[ (u, v) ]
+  if Digraph.add_edge t.g u v then begin
+    Obs.note_changed_input t.obs 1;
+    process_all t ~dels:[] ~inss:[ (u, v) ]
+  end
 
 let delete_edge t u v =
-  if Digraph.remove_edge t.g u v then process_all t ~dels:[ (u, v) ] ~inss:[]
+  if Digraph.remove_edge t.g u v then begin
+    Obs.note_changed_input t.obs 1;
+    process_all t ~dels:[ (u, v) ] ~inss:[]
+  end
 
 let add_node t label =
   let v = Digraph.add_node t.g label in
@@ -231,13 +262,14 @@ let add_node t label =
     t.syms;
   v
 
-let init ?(grouped = true) g q =
+let init ?(grouped = true) ?(obs = Obs.noop) g q =
   let kd = Batch.kdist_maps g q in
   let t =
     {
       g;
       q;
       grouped;
+      obs;
       syms =
         Array.of_list
           (List.map (Digraph.intern_label g) q.Batch.keywords);

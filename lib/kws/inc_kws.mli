@@ -39,14 +39,22 @@ type stats = { mutable affected : int; mutable settled : int }
 
 type t
 
-val init : ?grouped:bool -> Ig_graph.Digraph.t -> Batch.query -> t
+val init :
+  ?grouped:bool -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Batch.query -> t
 (** Compute the kdist lists once with the batch algorithm and keep them.
     [grouped] (default [true]) is the paper's IncKWS; [false] processes
-    batch updates one unit at a time (IncKWSn). The session owns the graph
-    afterwards. *)
+    batch updates one unit at a time (IncKWSn). [obs] (default
+    {!Ig_obs.Obs.noop}) receives the engine's cost counters: [aff] (kdist
+    entries invalidated), [cert_rewrites] (entries re-settled),
+    [nodes_visited], [edges_relaxed], [queue_pushes], and the
+    [changed]/[changed_input]/[changed_output] accounting of |ΔG| + |ΔO|.
+    The session owns the graph afterwards. *)
 
 val graph : t -> Ig_graph.Digraph.t
 val query : t -> Batch.query
+
+val obs : t -> Ig_obs.Obs.t
+(** The metrics sink the session was created with. *)
 
 val add_node : t -> string -> node
 (** A fresh node; it immediately matches any keyword equal to its label. *)

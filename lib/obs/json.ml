@@ -1,0 +1,254 @@
+(* Minimal JSON: enough to emit and re-read BENCH reports and metric
+   snapshots without depending on yojson (not in the build image). The
+   emitter always produces valid JSON; the parser accepts standard JSON
+   with the one restriction that \u escapes decode only the ASCII range
+   (BENCH files never contain anything else). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---- emission ----------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_literal f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    "null" (* JSON has no NaN/inf; a null timing is visibly wrong, not silent *)
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec emit ~indent b level v =
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let sep () = if indent then Buffer.add_char b '\n' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f -> Buffer.add_string b (float_literal f)
+  | Str s -> escape_string b s
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr xs ->
+      Buffer.add_char b '[';
+      sep ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            sep ()
+          end;
+          pad (level + 1);
+          emit ~indent b (level + 1) x)
+        xs;
+      sep ();
+      pad level;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      sep ();
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            sep ()
+          end;
+          pad (level + 1);
+          escape_string b k;
+          Buffer.add_string b (if indent then ": " else ":");
+          emit ~indent b (level + 1) x)
+        kvs;
+      sep ();
+      pad level;
+      Buffer.add_char b '}'
+
+let to_string ?(indent = false) v =
+  let b = Buffer.create 1024 in
+  emit ~indent b 0 v;
+  Buffer.contents b
+
+(* ---- parsing ------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else error ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          if !pos >= n then error "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' -> Buffer.add_char b e; go ()
+          | 'n' -> Buffer.add_char b '\n'; go ()
+          | 't' -> Buffer.add_char b '\t'; go ()
+          | 'r' -> Buffer.add_char b '\r'; go ()
+          | 'b' -> Buffer.add_char b '\b'; go ()
+          | 'f' -> Buffer.add_char b '\012'; go ()
+          | 'u' ->
+              if !pos + 4 > n then error "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?'
+              | None -> error "bad \\u escape");
+              go ()
+          | _ -> error "bad escape")
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> error ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> error "expected , or } in object"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> error "expected , or ] in array"
+          in
+          Arr (items [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- accessors ----------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_str_opt = function Str s -> Some s | _ -> None
+let to_list_opt = function Arr xs -> Some xs | _ -> None
+let to_obj_opt = function Obj kvs -> Some kvs | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None

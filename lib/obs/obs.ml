@@ -1,0 +1,231 @@
+(* Cost-accounting observability.
+
+   A registry of named monotonic counters, gauges, wall-clock timers and
+   scoped spans. Every incremental engine takes one at creation; the
+   default is [noop], a sink whose operations are single-branch no-ops, so
+   engines that nobody measures pay one match per probe and allocate
+   nothing.
+
+   The counters realize the paper's cost model: [K.aff] is the measured
+   |AFF| (certificate entries identified as affected), [K.cert_rewrites]
+   the entries actually rewritten, and [K.changed] = |ΔG| + |ΔO| the size
+   of the change (effective input updates plus output delta). "Bounded"
+   claims become assertions over ratios of these counters; "faster" claims
+   become deltas between two BENCH json files built from them. *)
+
+type registry = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  timers : (string, float ref) Hashtbl.t;
+  spans : (string, int ref * float ref) Hashtbl.t; (* entries, cumulative s *)
+  mutable span_stack : (string * float) list;
+}
+
+type t = Noop | Reg of registry
+
+let noop = Noop
+
+let create () =
+  Reg
+    {
+      counters = Hashtbl.create 16;
+      gauges = Hashtbl.create 8;
+      timers = Hashtbl.create 8;
+      spans = Hashtbl.create 8;
+      span_stack = [];
+    }
+
+let enabled = function Noop -> false | Reg _ -> true
+
+let slot tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl name r;
+      r
+
+(* ---- canonical counter names -------------------------------------------- *)
+
+module K = struct
+  let aff = "aff"
+  let cert_rewrites = "cert_rewrites"
+  let nodes_visited = "nodes_visited"
+  let edges_relaxed = "edges_relaxed"
+  let queue_pushes = "queue_pushes"
+  let changed = "changed"
+  let changed_input = "changed_input"
+  let changed_output = "changed_output"
+end
+
+(* ---- counters ------------------------------------------------------------ *)
+
+let add t name k =
+  match t with
+  | Noop -> ()
+  | Reg r ->
+      if k < 0 then invalid_arg "Obs.add: counters are monotonic";
+      let c = slot r.counters name in
+      c := !c + k
+
+let incr t name = add t name 1
+
+let counter t name =
+  match t with
+  | Noop -> 0
+  | Reg r -> (
+      match Hashtbl.find_opt r.counters name with Some c -> !c | None -> 0)
+
+(* |ΔG| and |ΔO| contributions both feed the aggregate [K.changed]. *)
+let note_changed_input t k =
+  add t K.changed_input k;
+  add t K.changed k
+
+let note_changed_output t k =
+  add t K.changed_output k;
+  add t K.changed k
+
+(* ---- gauges -------------------------------------------------------------- *)
+
+let set_gauge t name v =
+  match t with
+  | Noop -> ()
+  | Reg r ->
+      let g = slot r.gauges name in
+      g := v
+
+let gauge t name =
+  match t with
+  | Noop -> 0
+  | Reg r -> (
+      match Hashtbl.find_opt r.gauges name with Some g -> !g | None -> 0)
+
+(* ---- timers --------------------------------------------------------------- *)
+
+let add_time t name secs =
+  match t with
+  | Noop -> ()
+  | Reg r ->
+      let tr =
+        match Hashtbl.find_opt r.timers name with
+        | Some tr -> tr
+        | None ->
+            let tr = ref 0.0 in
+            Hashtbl.replace r.timers name tr;
+            tr
+      in
+      tr := !tr +. secs
+
+let time t name f =
+  match t with
+  | Noop -> f ()
+  | Reg _ ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () -> add_time t name (Unix.gettimeofday () -. t0))
+        f
+
+let timer t name =
+  match t with
+  | Noop -> 0.0
+  | Reg r -> (
+      match Hashtbl.find_opt r.timers name with Some tr -> !tr | None -> 0.0)
+
+(* ---- scoped spans ---------------------------------------------------------- *)
+
+let span_depth = function Noop -> 0 | Reg r -> List.length r.span_stack
+
+let span_begin t name =
+  match t with
+  | Noop -> ()
+  | Reg r -> r.span_stack <- (name, Unix.gettimeofday ()) :: r.span_stack
+
+let span_end t name =
+  match t with
+  | Noop -> ()
+  | Reg r -> (
+      match r.span_stack with
+      | (top, t0) :: rest when top = name ->
+          r.span_stack <- rest;
+          let entries, total =
+            match Hashtbl.find_opt r.spans name with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0.0) in
+                Hashtbl.replace r.spans name cell;
+                cell
+          in
+          entries := !entries + 1;
+          total := !total +. (Unix.gettimeofday () -. t0)
+      | (top, _) :: _ ->
+          invalid_arg
+            (Printf.sprintf "Obs.span_end: %s closed while %s is open" name top)
+      | [] -> invalid_arg "Obs.span_end: no open span")
+
+let with_span t name f =
+  match t with
+  | Noop -> f ()
+  | Reg _ ->
+      span_begin t name;
+      Fun.protect ~finally:(fun () -> span_end t name) f
+
+let span t name =
+  match t with
+  | Noop -> (0, 0.0)
+  | Reg r -> (
+      match Hashtbl.find_opt r.spans name with
+      | Some (n, s) -> (!n, !s)
+      | None -> (0, 0.0))
+
+(* ---- snapshots -------------------------------------------------------------- *)
+
+let sorted_items deref tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, deref v) :: acc) tbl [])
+
+let counters = function
+  | Noop -> []
+  | Reg r -> sorted_items ( ! ) r.counters
+
+let gauges = function Noop -> [] | Reg r -> sorted_items ( ! ) r.gauges
+let timers = function Noop -> [] | Reg r -> sorted_items ( ! ) r.timers
+
+let spans = function
+  | Noop -> []
+  | Reg r -> sorted_items (fun (n, s) -> (!n, !s)) r.spans
+
+let reset = function
+  | Noop -> ()
+  | Reg r ->
+      Hashtbl.reset r.counters;
+      Hashtbl.reset r.gauges;
+      Hashtbl.reset r.timers;
+      Hashtbl.reset r.spans;
+      r.span_stack <- []
+
+(* Counter snapshot difference: what a single update contributed. Keys are
+   the union; values are cur - prev (clamped at 0 so a reset between
+   snapshots reads as zero work, not negative). *)
+let diff_counters ~prev ~cur =
+  let keys =
+    List.sort_uniq compare (List.map fst prev @ List.map fst cur)
+  in
+  List.filter_map
+    (fun k ->
+      let v0 = Option.value ~default:0 (List.assoc_opt k prev) in
+      let v1 = Option.value ~default:0 (List.assoc_opt k cur) in
+      if v1 > v0 then Some (k, v1 - v0) else None)
+    keys
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (gauges t)));
+      ("timers", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (timers t)));
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (k, (n, s)) ->
+               (k, Json.Obj [ ("count", Json.Int n); ("seconds", Json.Float s) ]))
+             (spans t)) );
+    ]

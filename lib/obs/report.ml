@@ -1,0 +1,207 @@
+(* Schema-versioned BENCH reports.
+
+   One report = one bench invocation: tool identity, configuration, and a
+   list of experiments, each a list of data points. A point carries the
+   x-axis label, per-series wall-clock timings (seconds), per-series
+   counter snapshots (the Obs counters of the engine that produced the
+   series), and per-series speedups against the point's batch baseline.
+
+   Schema (version 1):
+
+     { "schema_version": 1,
+       "tool": <string>,
+       "created_unix": <number>,
+       "config": { <string>: <json>, ... },
+       "experiments": [
+         { "id": <string>, "title": <string>,
+           "points": [
+             { "x": <string>,
+               "timings": { <series>: <seconds>, ... },
+               "counters": { <series>: { <counter>: <int>, ... }, ... },
+               "speedup_vs_batch": { <series>: <ratio>, ... } } ] } ] }
+
+   Two runs are compared by joining on (experiment id, point x, series). *)
+
+let schema_version = 1
+
+type point = {
+  x : string;
+  timings : (string * float) list;
+  counters : (string * (string * int) list) list;
+  speedup : (string * float) list;
+}
+
+type experiment = {
+  id : string;
+  title : string;
+  mutable points : point list; (* reverse insertion order *)
+}
+
+type t = {
+  tool : string;
+  created : float;
+  config : (string * Json.t) list;
+  mutable experiments : experiment list; (* reverse insertion order *)
+}
+
+let create ~tool ~config () =
+  { tool; created = Unix.time (); config; experiments = [] }
+
+let experiment t ~id ~title =
+  match List.find_opt (fun e -> e.id = id) t.experiments with
+  | Some e -> e
+  | None ->
+      let e = { id; title; points = [] } in
+      t.experiments <- e :: t.experiments;
+      e
+
+let add_point e ~x ?(timings = []) ?(counters = []) ?(speedup = []) () =
+  let counters = List.filter (fun (_, cs) -> cs <> []) counters in
+  e.points <- { x; timings; counters; speedup } :: e.points
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("x", Json.Str p.x);
+      ( "timings",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) p.timings) );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (series, cs) ->
+               (series, Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) cs)))
+             p.counters) );
+      ( "speedup_vs_batch",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) p.speedup) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("tool", Json.Str t.tool);
+      ("created_unix", Json.Float t.created);
+      ("config", Json.Obj t.config);
+      ( "experiments",
+        Json.Arr
+          (List.rev_map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("id", Json.Str e.id);
+                   ("title", Json.Str e.title);
+                   ("points", Json.Arr (List.rev_map point_to_json e.points));
+                 ])
+             t.experiments) );
+    ]
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:true (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+(* ---- validation ------------------------------------------------------------ *)
+
+(* Structural schema check for consumers (the @bench-smoke alias, diff
+   tooling). Returns the first violation found. *)
+let validate json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let req obj k what conv =
+    match Option.bind (Json.member k obj) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed %S (%s)" k what)
+  in
+  let* v = req json "schema_version" "int" Json.to_int_opt in
+  if v <> schema_version then
+    Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
+  else
+    let* _ = req json "tool" "string" Json.to_str_opt in
+    let* _ = req json "created_unix" "number" Json.to_float_opt in
+    let* _ = req json "config" "object" Json.to_obj_opt in
+    let* exps = req json "experiments" "array" Json.to_list_opt in
+    let check_point eid p =
+      let* x = req p "x" "string" Json.to_str_opt in
+      let where what = Printf.sprintf "%s/%s: %s" eid x what in
+      let* timings = req p "timings" "object" Json.to_obj_opt in
+      let* counters = req p "counters" "object" Json.to_obj_opt in
+      let* speedup = req p "speedup_vs_batch" "object" Json.to_obj_opt in
+      let* () =
+        List.fold_left
+          (fun acc (k, v) ->
+            let* () = acc in
+            if Json.to_float_opt v = None then
+              Error (where (Printf.sprintf "timing %S is not a number" k))
+            else Ok ())
+          (Ok ()) (timings @ speedup)
+      in
+      List.fold_left
+        (fun acc (series, snap) ->
+          let* () = acc in
+          match Json.to_obj_opt snap with
+          | None -> Error (where (Printf.sprintf "counters[%S] not an object" series))
+          | Some cs ->
+              List.fold_left
+                (fun acc (k, v) ->
+                  let* () = acc in
+                  match Json.to_int_opt v with
+                  | Some n when n >= 0 -> Ok ()
+                  | _ ->
+                      Error
+                        (where
+                           (Printf.sprintf
+                              "counter %s/%s is not a non-negative int" series k)))
+                (Ok ()) cs)
+        (Ok ()) counters
+    in
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        let* id = req e "id" "string" Json.to_str_opt in
+        let* _ = req e "title" "string" Json.to_str_opt in
+        let* points = req e "points" "array" Json.to_list_opt in
+        List.fold_left
+          (fun acc p ->
+            let* () = acc in
+            let* () = check_point id p in
+            Ok ())
+          (Ok ()) points)
+      (Ok ()) exps
+
+(* The headline comparison: per (experiment, x, series), the timing ratio
+   old/new (>1 means the new run is faster). Used by EXPERIMENTS.md's
+   "comparing two runs" recipe and kept here so the format evolves with the
+   schema. *)
+let compare_timings ~old_json ~new_json =
+  let index json =
+    let acc = ref [] in
+    (match Json.member "experiments" json with
+    | Some (Json.Arr exps) ->
+        List.iter
+          (fun e ->
+            match (Json.member "id" e, Json.member "points" e) with
+            | Some (Json.Str id), Some (Json.Arr points) ->
+                List.iter
+                  (fun p ->
+                    match (Json.member "x" p, Json.member "timings" p) with
+                    | Some (Json.Str x), Some (Json.Obj ts) ->
+                        List.iter
+                          (fun (series, v) ->
+                            match Json.to_float_opt v with
+                            | Some f -> acc := ((id, x, series), f) :: !acc
+                            | None -> ())
+                          ts
+                    | _ -> ())
+                  points
+            | _ -> ())
+          exps
+    | _ -> ());
+    !acc
+  in
+  let old_ix = index old_json in
+  List.filter_map
+    (fun (key, nv) ->
+      match List.assoc_opt key old_ix with
+      | Some ov when nv > 0.0 -> Some (key, ov /. nv)
+      | _ -> None)
+    (index new_json)

@@ -1,5 +1,6 @@
 module Digraph = Ig_graph.Digraph
 module Nfa = Ig_nfa.Nfa
+module Obs = Ig_obs.Obs
 
 type node = Digraph.node
 type key = Pgraph.key
@@ -26,6 +27,7 @@ type source_state = {
 type t = {
   p : Pgraph.t;
   grouped : bool;
+  obs : Obs.t;
   srcs : (node, source_state) Hashtbl.t;
   at_node : (node, (node, int) Hashtbl.t) Hashtbl.t;
       (* v -> sources holding an entry at v (with entry counts): the paper
@@ -40,6 +42,7 @@ type t = {
 
 let graph t = Pgraph.graph t.p
 let stats t = t.st
+let obs t = t.obs
 
 let reset_stats t =
   t.st.affected <- 0;
@@ -94,6 +97,7 @@ let remove_entry t u ss k =
 let flush_delta t =
   let added = Hashtbl.fold (fun m () acc -> m :: acc) t.gained [] in
   let removed = Hashtbl.fold (fun m () acc -> m :: acc) t.lost [] in
+  Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
   { added; removed }
@@ -123,6 +127,7 @@ let process_source t u ss ~dels ~inss =
     dels;
   while not (Stack.is_empty stack) do
     let k = Stack.pop stack in
+    Obs.incr t.obs Obs.K.nodes_visited;
     if
       (not (Hashtbl.mem affected k))
       && Hashtbl.mem ss.marks k
@@ -131,6 +136,7 @@ let process_source t u ss ~dels ~inss =
       let d = Hashtbl.find ss.marks k in
       let supported = ref false in
       Pgraph.iter_pred p k (fun k' ->
+          Obs.incr t.obs Obs.K.edges_relaxed;
           if
             (not !supported)
             && (not (Hashtbl.mem affected k'))
@@ -142,6 +148,7 @@ let process_source t u ss ~dels ~inss =
       if not !supported then begin
         Hashtbl.replace affected k ();
         t.st.affected <- t.st.affected + 1;
+        Obs.incr t.obs Obs.K.aff;
         (* Successors may have lost their support through [k]. *)
         Pgraph.iter_succ p k (fun k'' ->
             if Hashtbl.mem ss.marks k'' then Stack.push k'' stack)
@@ -155,12 +162,16 @@ let process_source t u ss ~dels ~inss =
     (fun k () ->
       let best = ref max_int in
       Pgraph.iter_pred p k (fun k' ->
+          Obs.incr t.obs Obs.K.edges_relaxed;
           if not (Hashtbl.mem affected k') then
             match Hashtbl.find_opt ss.marks k' with
             | Some d' -> if d' + 1 < !best then best := d' + 1
             | None -> ());
       remove_entry t u ss k;
-      if !best < max_int then PQ.insert q k !best)
+      if !best < max_int then begin
+        Obs.incr t.obs Obs.K.queue_pushes;
+        PQ.insert q k !best
+      end)
     affected;
   (* Phase C: insertions with unaffected tails. *)
   List.iter
@@ -175,7 +186,9 @@ let process_source t u ss ~dels ~inss =
                 let cand = dv + 1 in
                 match Hashtbl.find_opt ss.marks kw with
                 | Some d when d <= cand -> ()
-                | _ -> PQ.insert q kw cand)
+                | _ ->
+                    Obs.incr t.obs Obs.K.queue_pushes;
+                    PQ.insert q kw cand)
               (Pgraph.succ_keys_of_edge p s w)
       done)
     inss;
@@ -184,22 +197,28 @@ let process_source t u ss ~dels ~inss =
     match PQ.pull_min q with
     | None -> ()
     | Some (k, d) ->
+        Obs.incr t.obs Obs.K.nodes_visited;
+        let relax () =
+          Pgraph.iter_succ p k (fun k' ->
+              Obs.incr t.obs Obs.K.edges_relaxed;
+              match Hashtbl.find_opt ss.marks k' with
+              | Some d'' when d'' <= d + 1 -> ()
+              | _ ->
+                  Obs.incr t.obs Obs.K.queue_pushes;
+                  PQ.insert q k' (d + 1))
+        in
         (match Hashtbl.find_opt ss.marks k with
         | Some d' when d' <= d -> () (* stale queue entry *)
         | Some _ ->
             Hashtbl.replace ss.marks k d;
             t.st.settled <- t.st.settled + 1;
-            Pgraph.iter_succ p k (fun k' ->
-                match Hashtbl.find_opt ss.marks k' with
-                | Some d'' when d'' <= d + 1 -> ()
-                | _ -> PQ.insert q k' (d + 1))
+            Obs.incr t.obs Obs.K.cert_rewrites;
+            relax ()
         | None ->
             add_entry t u ss k d;
             t.st.settled <- t.st.settled + 1;
-            Pgraph.iter_succ p k (fun k' ->
-                match Hashtbl.find_opt ss.marks k' with
-                | Some d'' when d'' <= d + 1 -> ()
-                | _ -> PQ.insert q k' (d + 1)));
+            Obs.incr t.obs Obs.K.cert_rewrites;
+            relax ());
         fix ()
   in
   fix ()
@@ -210,6 +229,7 @@ let process_source t u ss ~dels ~inss =
    relevant source receives just the updates whose tail it marks, so a
    batch costs Σ_u |ΔG restricted to u's reach|, not |sources| × |ΔG|. *)
 let process_all t ~dels ~inss =
+  Obs.with_span t.obs "rpq.process" @@ fun () ->
   let per_source = Hashtbl.create 16 in
   let note side (v, w) =
     match Hashtbl.find_opt t.at_node v with
@@ -240,11 +260,15 @@ let apply_effective t updates =
   let g = graph t in
   List.filter_map
     (fun up ->
-      match up with
-      | Digraph.Insert (u, v) ->
-          if Digraph.add_edge g u v then Some (`I, (u, v)) else None
-      | Digraph.Delete (u, v) ->
-          if Digraph.remove_edge g u v then Some (`D, (u, v)) else None)
+      let eff =
+        match up with
+        | Digraph.Insert (u, v) ->
+            if Digraph.add_edge g u v then Some (`I, (u, v)) else None
+        | Digraph.Delete (u, v) ->
+            if Digraph.remove_edge g u v then Some (`D, (u, v)) else None
+      in
+      if eff <> None then Obs.note_changed_input t.obs 1;
+      eff)
     updates
 
 let split_effective eff =
@@ -269,12 +293,16 @@ let apply_batch t updates =
   flush_delta t
 
 let insert_edge t u v =
-  if Digraph.add_edge (graph t) u v then
+  if Digraph.add_edge (graph t) u v then begin
+    Obs.note_changed_input t.obs 1;
     process_all t ~dels:[] ~inss:[ (u, v) ]
+  end
 
 let delete_edge t u v =
-  if Digraph.remove_edge (graph t) u v then
+  if Digraph.remove_edge (graph t) u v then begin
+    Obs.note_changed_input t.obs 1;
     process_all t ~dels:[ (u, v) ] ~inss:[]
+  end
 
 let register_source t u =
   let ss = { marks = Hashtbl.create 16; accs = Hashtbl.create 8 } in
@@ -291,12 +319,13 @@ let add_node t label =
   end;
   u
 
-let init ?(grouped = true) g a =
+let init ?(grouped = true) ?(obs = Obs.noop) g a =
   let p = Pgraph.make g a in
   let t =
     {
       p;
       grouped;
+      obs;
       srcs = Hashtbl.create 64;
       at_node = Hashtbl.create 256;
       gained = Hashtbl.create 64;
@@ -313,8 +342,8 @@ let init ?(grouped = true) g a =
   Hashtbl.reset t.gained;
   t
 
-let create ?grouped g q =
-  init ?grouped g (Nfa.compile (Digraph.interner g) q)
+let create ?grouped ?obs g q =
+  init ?grouped ?obs g (Nfa.compile (Digraph.interner g) q)
 
 let matches t =
   Hashtbl.fold

@@ -1,6 +1,7 @@
 module Digraph = Ig_graph.Digraph
 module Rank = Ig_graph.Rank
 module Vec = Ig_graph.Vec
+module Obs = Ig_obs.Obs
 
 type node = Digraph.node
 type comp = int
@@ -43,6 +44,7 @@ type stats = {
 type t = {
   g : Digraph.t;
   cfg : config;
+  obs : Obs.t;
   certs : Tarjan.cert Vec.t; (* per node *)
   comp_of : comp Vec.t;      (* per node *)
   members : (comp, members) Hashtbl.t;
@@ -63,6 +65,7 @@ type t = {
 let graph t = t.g
 let config t = t.cfg
 let stats t = t.st
+let obs t = t.obs
 
 let reset_stats t =
   t.st.cert_nodes <- 0;
@@ -149,6 +152,7 @@ let flush_delta t =
       (fun c () acc -> members_to_list (members_of t c) :: acc)
       t.born []
   in
+  Obs.note_changed_output t.obs (List.length removed + List.length added);
   Hashtbl.reset t.died;
   Hashtbl.reset t.born;
   { removed; added }
@@ -158,6 +162,10 @@ let flush_delta t =
 let local_tarjan t c =
   let ms = members_to_list (members_of t c) in
   t.st.cert_nodes <- t.st.cert_nodes + List.length ms;
+  let n = List.length ms in
+  Obs.add t.obs Obs.K.aff n;
+  Obs.add t.obs Obs.K.cert_rewrites n;
+  Obs.add t.obs Obs.K.nodes_visited n;
   Tarjan.run_with_cert t.g
     ~restrict:(fun v -> comp_of t v = c)
     ~nodes:ms
@@ -298,10 +306,13 @@ let cclosure t ~dir ~keep start =
   end;
   while not (Stack.is_empty stack) do
     let c = Stack.pop stack in
+    Obs.incr t.obs Obs.K.nodes_visited;
     Hashtbl.iter
       (fun d _ ->
+        Obs.incr t.obs Obs.K.edges_relaxed;
         if (not (Hashtbl.mem seen d)) && keep d then begin
           Hashtbl.replace seen d ();
+          Obs.incr t.obs Obs.K.queue_pushes;
           Stack.push d stack
         end)
       (adj tbl c)
@@ -342,6 +353,9 @@ let resolve_violation t cu cv =
   let region_size = Hashtbl.length affr + Hashtbl.length affl in
   t.st.rank_moves <- t.st.rank_moves + region_size;
   t.st.violations <- t.st.violations + 1;
+  Obs.add t.obs Obs.K.aff region_size;
+  Obs.add t.obs "rank_moves" region_size;
+  Obs.incr t.obs "violations";
   let direct_back_edge = Hashtbl.mem (adj t.csucc cv) cu in
   if inter = [] && not direct_back_edge then begin
     (* No cycle: pure reallocation. *)
@@ -390,6 +404,7 @@ let insert_intra t c = if t.cfg.eager_cert then refresh_cert t c
 
 let insert_edge t u v =
   if Digraph.add_edge t.g u v then begin
+    Obs.note_changed_input t.obs 1;
     let cu = comp_of t u and cv = comp_of t v in
     if cu = cv then insert_intra t cu else insert_inter t cu cv
   end
@@ -415,7 +430,10 @@ let delete_intra t c u v =
     t.cfg.delete_fast_path
     && (not (Hashtbl.mem t.dirty c))
     && cert_survives_delete t u v
-  then t.st.fast_deletes <- t.st.fast_deletes + 1
+  then begin
+    t.st.fast_deletes <- t.st.fast_deletes + 1;
+    Obs.incr t.obs "fast_deletes"
+  end
   else if still_connected t c u v then
     (* Output unchanged; the certificate no longer reflects reality, so
        later deletions must re-check until a recomputation refreshes it. *)
@@ -424,6 +442,7 @@ let delete_intra t c u v =
 
 let delete_edge t u v =
   if Digraph.remove_edge t.g u v then begin
+    Obs.note_changed_input t.obs 1;
     let cu = comp_of t u and cv = comp_of t v in
     if cu <> cv then cremove t cu cv 1 else delete_intra t cu u v
   end
@@ -465,12 +484,16 @@ let apply_batch_grouped t updates =
      Tarjan at most once per affected component. *)
   List.iter
     (fun (u, v) ->
-      if Digraph.add_edge t.g u v then insert_intra t (comp_of t u))
+      if Digraph.add_edge t.g u v then begin
+        Obs.note_changed_input t.obs 1;
+        insert_intra t (comp_of t u)
+      end)
     !intra_ins;
   let del_by_comp = Hashtbl.create 8 in
   List.iter
     (fun (u, v) ->
       if Digraph.remove_edge t.g u v then begin
+        Obs.note_changed_input t.obs 1;
         let c = comp_of t u in
         let cur =
           Option.value ~default:[] (Hashtbl.find_opt del_by_comp c)
@@ -485,20 +508,25 @@ let apply_batch_grouped t updates =
         && (not (Hashtbl.mem t.dirty c))
         && List.for_all (fun (u, v) -> cert_survives_delete t u v) dels
       in
-      if survives then
-        t.st.fast_deletes <- t.st.fast_deletes + List.length dels
+      if survives then begin
+        t.st.fast_deletes <- t.st.fast_deletes + List.length dels;
+        Obs.add t.obs "fast_deletes" (List.length dels)
+      end
       else recert_or_split t c)
     del_by_comp;
   (* (b) Inter-component phase: deletions first, then insertions one at a
      time (each restores the rank invariant before the next is added). *)
   List.iter
     (fun (u, v) ->
-      if Digraph.remove_edge t.g u v then
-        cremove t (comp_of t u) (comp_of t v) 1)
+      if Digraph.remove_edge t.g u v then begin
+        Obs.note_changed_input t.obs 1;
+        cremove t (comp_of t u) (comp_of t v) 1
+      end)
     !inter_del;
   List.iter
     (fun (u, v) ->
       if Digraph.add_edge t.g u v then begin
+        Obs.note_changed_input t.obs 1;
         let cu = comp_of t u and cv = comp_of t v in
         (* Equal components mean an earlier insertion in this batch merged
            them; the merge already dirtied (or refreshed) the certificate,
@@ -508,13 +536,14 @@ let apply_batch_grouped t updates =
     !inter_ins
 
 let apply_batch t updates =
-  if t.cfg.group_batch then apply_batch_grouped t updates
-  else List.iter (apply_unit t) updates;
+  Obs.with_span t.obs "scc.process" (fun () ->
+      if t.cfg.group_batch then apply_batch_grouped t updates
+      else List.iter (apply_unit t) updates);
   flush_delta t
 
 (* ---- Construction and queries ----------------------------------------- *)
 
-let init ?(config = inc_config) g =
+let init ?(config = inc_config) ?(obs = Obs.noop) g =
   let n = Digraph.n_nodes g in
   let certs = Vec.create () in
   for _ = 1 to n do
@@ -525,6 +554,7 @@ let init ?(config = inc_config) g =
     {
       g;
       cfg = config;
+      obs;
       certs;
       comp_of = comp_vec;
       members = Hashtbl.create 64;

@@ -80,13 +80,21 @@ type stats = {
 
 type t
 
-val init : ?config:config -> Ig_graph.Digraph.t -> t
+val init : ?config:config -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> t
 (** Run Tarjan once and set up all auxiliary structures. The graph is owned
-    by the engine afterwards: apply updates only through it. *)
+    by the engine afterwards: apply updates only through it. [obs] (default
+    {!Ig_obs.Obs.noop}) receives cost counters: [aff] (nodes re-certified
+    plus rank-region size — the measured |AFF|), [cert_rewrites],
+    [nodes_visited], [edges_relaxed] and [queue_pushes] (affected-region
+    closures over the contracted graph), [rank_moves], [violations],
+    [fast_deletes], and [changed] = |ΔG| + |ΔO|. *)
 
 val graph : t -> Ig_graph.Digraph.t
 
 val config : t -> config
+
+val obs : t -> Ig_obs.Obs.t
+(** The metrics sink the engine was created with. *)
 
 val add_node : t -> string -> node
 (** Add a fresh labeled node (a new singleton component). *)

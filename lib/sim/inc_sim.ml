@@ -1,5 +1,6 @@
 module Digraph = Ig_graph.Digraph
 module Pattern = Ig_iso.Pattern
+module Obs = Ig_obs.Obs
 
 type node = Digraph.node
 
@@ -8,6 +9,7 @@ type delta = { added : (int * node) list; removed : (int * node) list }
 type t = {
   g : Digraph.t;
   p : Pattern.t;
+  obs : Obs.t;
   r : Sim.relation;
   cnt : (node, int) Hashtbl.t array; (* per pattern edge id, for v ∈ r.(u) *)
   out_edges : (int * int) list array;
@@ -19,6 +21,7 @@ type t = {
 
 let graph t = t.g
 let pattern t = t.p
+let obs t = t.obs
 let relation t = t.r
 let mem t u v = Sim.mem t.r u v
 let n_pairs t = t.n_pairs
@@ -36,6 +39,7 @@ let note_lose t u v =
 let flush_delta t =
   let added = Hashtbl.fold (fun x () acc -> x :: acc) t.gained [] in
   let removed = Hashtbl.fold (fun x () acc -> x :: acc) t.lost [] in
+  Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
   { added; removed }
@@ -48,19 +52,26 @@ let cascade t doomed =
   List.iter (fun x -> Stack.push x stack) doomed;
   while not (Stack.is_empty stack) do
     let u, v = Stack.pop stack in
+    Obs.incr t.obs Obs.K.nodes_visited;
     if Hashtbl.mem t.r.(u) v then begin
       Hashtbl.remove t.r.(u) v;
       List.iter (fun (e, _) -> Hashtbl.remove t.cnt.(e) v) t.out_edges.(u);
       note_lose t u v;
+      Obs.incr t.obs Obs.K.aff;
+      Obs.incr t.obs Obs.K.cert_rewrites;
       List.iter
         (fun (e, tp) ->
           Digraph.iter_pred
             (fun pnode ->
+              Obs.incr t.obs Obs.K.edges_relaxed;
               if Hashtbl.mem t.r.(tp) pnode then begin
                 match Hashtbl.find_opt t.cnt.(e) pnode with
                 | Some c ->
                     Hashtbl.replace t.cnt.(e) pnode (c - 1);
-                    if c - 1 = 0 then Stack.push (tp, pnode) stack
+                    if c - 1 = 0 then begin
+                      Obs.incr t.obs Obs.K.queue_pushes;
+                      Stack.push (tp, pnode) stack
+                    end
                 | None -> ()
               end)
             t.g v)
@@ -70,6 +81,7 @@ let cascade t doomed =
 
 let delete_edge t a b =
   if Digraph.remove_edge t.g a b then begin
+    Obs.note_changed_input t.obs 1;
     let doomed = ref [] in
     (* Pattern edges whose support ran through the deleted graph edge. *)
     Array.iteri
@@ -90,6 +102,7 @@ let delete_edge t a b =
 
 let insert_edge t a b =
   if Digraph.add_edge t.g a b then begin
+    Obs.note_changed_input t.obs 1;
     (* Existing pairs gain support through the new edge. *)
     Array.iteri
       (fun u ls ->
@@ -108,6 +121,7 @@ let insert_edge t a b =
     let closure =
       Ig_graph.Traverse.reachable t.g ~dir:`Backward [ a ]
     in
+    Obs.add t.obs Obs.K.nodes_visited (Hashtbl.length closure);
     let cands = Sim.candidates t.p t.g in
     let init =
       Array.mapi
@@ -131,6 +145,8 @@ let insert_edge t a b =
             if not (Hashtbl.mem t.r.(u) v) then begin
               Hashtbl.replace t.r.(u) v ();
               note_gain t u v;
+              Obs.incr t.obs Obs.K.aff;
+              Obs.incr t.obs Obs.K.cert_rewrites;
               additions := (u, v) :: !additions
             end)
           set)
@@ -165,15 +181,16 @@ let insert_edge t a b =
   end
 
 let apply_batch t updates =
-  List.iter
-    (fun up ->
-      match up with
-      | Digraph.Insert (u, v) -> insert_edge t u v
-      | Digraph.Delete (u, v) -> delete_edge t u v)
-    updates;
+  Obs.with_span t.obs "sim.process" (fun () ->
+      List.iter
+        (fun up ->
+          match up with
+          | Digraph.Insert (u, v) -> insert_edge t u v
+          | Digraph.Delete (u, v) -> delete_edge t u v)
+        updates);
   flush_delta t
 
-let init g p =
+let init ?(obs = Obs.noop) g p =
   let r = Sim.run p g in
   let out_edges, in_edges = Sim.edge_index p in
   let cnt =
@@ -183,6 +200,7 @@ let init g p =
     {
       g;
       p;
+      obs;
       r;
       cnt;
       out_edges;

@@ -24,11 +24,18 @@ type delta = {
 
 type t
 
-val init : Ig_graph.Digraph.t -> Ig_iso.Pattern.t -> t
-(** Runs the batch fixpoint once; the session owns the graph. *)
+val init : ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Ig_iso.Pattern.t -> t
+(** Runs the batch fixpoint once; the session owns the graph. [obs]
+    (default {!Ig_obs.Obs.noop}) receives cost counters: [aff] (relation
+    pairs gained or lost — the measured |AFF|), [cert_rewrites],
+    [nodes_visited] (cascade pops + revalidation closure), [edges_relaxed]
+    (support rescans), [queue_pushes], and [changed] = |ΔG| + |ΔO|. *)
 
 val graph : t -> Ig_graph.Digraph.t
 val pattern : t -> Ig_iso.Pattern.t
+
+val obs : t -> Ig_obs.Obs.t
+(** The metrics sink the session was created with. *)
 
 val insert_edge : t -> node -> node -> unit
 val delete_edge : t -> node -> node -> unit

@@ -166,6 +166,7 @@ module Buggy_scc = struct
   let answer t = A.canon_comps (I.components t.eng)
   let recompute t = A.canon_comps (Ig_scc.Tarjan.scc t.truth)
   let check_invariants t = I.check_invariants t.eng
+  let obs t = I.obs t.eng
 end
 
 let test_mutation_buggy_engine_shrinks () =

@@ -133,6 +133,109 @@ let test_scc_aff_small_on_replay () =
     (st.Ig_scc.Inc_scc.cert_nodes + st.Ig_scc.Inc_scc.rank_moves < n);
   Ig_scc.Inc_scc.check_invariants t
 
+(* ---- the same guarantees through the Obs counters ----------------------------- *)
+
+(* The observability layer measures every engine with one vocabulary
+   (aff, nodes_visited, edges_relaxed, queue_pushes, cert_rewrites), so the
+   paper's guarantees become scale-comparison regressions: grow |G| at a
+   fixed update workload and check what the total work tracks.
+
+   Slack factors are generous (graphs at different scales differ in density
+   and query selectivity, not only size) — what they must exclude is work
+   proportional to |G|, which would show up as a ~4x ratio between the 0.1
+   and 0.4 scales. *)
+
+module O = Ig_obs.Obs
+
+let obs_work o =
+  O.counter o O.K.nodes_visited
+  + O.counter o O.K.edges_relaxed
+  + O.counter o O.K.queue_pushes
+  + O.counter o O.K.cert_rewrites
+
+let test_obs_kws_work_flat () =
+  (* Localizability: per-unit work bounded by the b-neighborhood, so total
+     work over a fixed unit workload must not grow with |G|. *)
+  let work scale =
+    let g = profile scale in
+    let q = { Ig_kws.Batch.keywords = [ "l1"; "l2" ]; bound = 2 } in
+    let units = replay_units g 30 in
+    let o = O.create () in
+    let t = Ig_kws.Inc_kws.init ~obs:o g q in
+    List.iter (fun up -> ignore (Ig_kws.Inc_kws.apply_batch t [ up ])) units;
+    obs_work o
+  in
+  let small = work 0.1 and large = work 0.4 in
+  check Alcotest.bool
+    (Printf.sprintf "obs work %d -> %d flat while |G| grew 4x" small large)
+    true
+    (float_of_int large < 3.0 *. float_of_int (max small 1))
+
+let test_obs_iso_work_flat () =
+  (* Localizability: the VF2 rerun is confined to d_Q-neighborhoods, so the
+     per-rematch explored region must not grow with |G|. *)
+  let work scale =
+    let g = profile scale in
+    let rng = Random.State.make [| 13 |] in
+    match W.Queries.iso ~rng g ~nodes:3 ~edges:3 with
+    | None -> None
+    | Some p ->
+        let units = replay_units g 30 in
+        let o = O.create () in
+        let t = Ig_iso.Inc_iso.init ~obs:o g p in
+        List.iter (fun up -> ignore (Ig_iso.Inc_iso.apply_batch t [ up ])) units;
+        let rematches = max 1 (O.counter o "rematches") in
+        Some (float_of_int (O.counter o O.K.nodes_visited) /. float_of_int rematches)
+  in
+  match (work 0.1, work 0.4) with
+  | Some small, Some large ->
+      check Alcotest.bool
+        (Printf.sprintf "avg ball %.0f -> %.0f flat while |G| grew 4x" small
+           large)
+        true
+        (large < 3.0 *. Float.max small 1.0)
+  | _ -> Alcotest.skip ()
+
+let test_obs_rpq_work_tracks_aff () =
+  (* Relative boundedness: total work polynomial in the measured
+     |AFF ∪ CHANGED|, so work per affected entry must stay flat as |G|
+     grows at fixed |ΔG|. *)
+  let run scale =
+    let g = profile scale in
+    let rng = Random.State.make [| 14 |] in
+    let q = W.Queries.rpq ~rng g ~size:4 in
+    let a = Ig_nfa.Nfa.compile (Digraph.interner g) q in
+    let ups = replay_units g 120 in
+    let o = O.create () in
+    let t = Ig_rpq.Inc_rpq.init ~obs:o g a in
+    ignore (Ig_rpq.Inc_rpq.apply_batch t ups);
+    (obs_work o, O.counter o O.K.aff + O.counter o O.K.changed)
+  in
+  let ws, afs = run 0.1 and wl, afl = run 0.4 in
+  let per_aff w af = float_of_int w /. float_of_int (max 1 af) in
+  check Alcotest.bool
+    (Printf.sprintf "work/AFF %.1f -> %.1f flat while |G| grew 4x"
+       (per_aff ws afs) (per_aff wl afl))
+    true
+    (per_aff wl afl < 4.0 *. Float.max 1.0 (per_aff ws afs))
+
+let test_obs_scc_work_tracks_aff () =
+  let run scale =
+    let g = profile scale in
+    let ups = replay_units g 120 in
+    let o = O.create () in
+    let t = Ig_scc.Inc_scc.init ~obs:o g in
+    ignore (Ig_scc.Inc_scc.apply_batch t ups);
+    (obs_work o, O.counter o O.K.aff + O.counter o O.K.changed)
+  in
+  let ws, afs = run 0.1 and wl, afl = run 0.4 in
+  let per_aff w af = float_of_int w /. float_of_int (max 1 af) in
+  check Alcotest.bool
+    (Printf.sprintf "work/AFF %.1f -> %.1f flat while |G| grew 4x"
+       (per_aff ws afs) (per_aff wl afl))
+    true
+    (per_aff wl afl < 4.0 *. Float.max 1.0 (per_aff ws afs))
+
 (* ---- the unboundedness lower bound (Fig. 9) ---------------------------------- *)
 
 let test_gadget_superlinear () =
@@ -158,6 +261,10 @@ let () =
             test_kws_work_independent_of_graph_size;
           Alcotest.test_case "ISO neighborhoods stay local" `Quick
             test_iso_ball_fraction;
+          Alcotest.test_case "KWS obs work independent of |G|" `Quick
+            test_obs_kws_work_flat;
+          Alcotest.test_case "ISO obs ball independent of |G|" `Quick
+            test_obs_iso_work_flat;
         ] );
       ( "relatively bounded (Thm 4)",
         [
@@ -165,6 +272,10 @@ let () =
             test_rpq_aff_small_on_replay;
           Alcotest.test_case "SCC AFF small on replay stream" `Quick
             test_scc_aff_small_on_replay;
+          Alcotest.test_case "RPQ obs work tracks |AFF|" `Quick
+            test_obs_rpq_work_tracks_aff;
+          Alcotest.test_case "SCC obs work tracks |AFF|" `Quick
+            test_obs_scc_work_tracks_aff;
         ] );
       ( "unbounded (Thm 1)",
         [

@@ -1,0 +1,291 @@
+(* Tests for the cost-accounting observability layer (lib/obs): registry
+   semantics first, then one smoke test per incremental engine checking
+   that the probes report the right shape of |AFF| — nonzero for an update
+   that touches the query's certificate, zero for an update in a part of
+   the graph the query cannot see. *)
+
+open Ig_graph
+module O = Ig_obs.Obs
+
+let check = Alcotest.check
+
+let labeled_graph labels edges =
+  let g = Digraph.create () in
+  List.iter (fun l -> ignore (Digraph.add_node g l)) labels;
+  List.iter (fun (u, v) -> ignore (Digraph.add_edge g u v)) edges;
+  g
+
+(* ---- registry: counters ---------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  let o = O.create () in
+  check Alcotest.int "absent counter reads 0" 0 (O.counter o "x");
+  O.incr o "x";
+  O.add o "x" 4;
+  check Alcotest.int "accumulates" 5 (O.counter o "x");
+  O.add o "x" 0;
+  check Alcotest.int "adding 0 is fine" 5 (O.counter o "x");
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.add: counters are monotonic") (fun () ->
+      O.add o "x" (-1));
+  check Alcotest.int "failed add left no trace" 5 (O.counter o "x")
+
+let test_counter_snapshot_sorted () =
+  let o = O.create () in
+  O.incr o "b";
+  O.incr o "a";
+  O.add o "c" 2;
+  check
+    Alcotest.(list (pair string int))
+    "sorted snapshot"
+    [ ("a", 1); ("b", 1); ("c", 2) ]
+    (O.counters o)
+
+let test_changed_aggregates () =
+  let o = O.create () in
+  O.note_changed_input o 3;
+  O.note_changed_output o 2;
+  check Alcotest.int "changed_input" 3 (O.counter o O.K.changed_input);
+  check Alcotest.int "changed_output" 2 (O.counter o O.K.changed_output);
+  check Alcotest.int "changed = |ΔG| + |ΔO|" 5 (O.counter o O.K.changed)
+
+let test_diff_counters () =
+  let o = O.create () in
+  O.add o "a" 2;
+  let prev = O.counters o in
+  O.add o "a" 3;
+  O.incr o "b";
+  check
+    Alcotest.(list (pair string int))
+    "diff is the work since the snapshot"
+    [ ("a", 3); ("b", 1) ]
+    (O.diff_counters ~prev ~cur:(O.counters o))
+
+(* ---- registry: gauges and timers ------------------------------------------- *)
+
+let test_gauges_and_timers () =
+  let o = O.create () in
+  O.set_gauge o "depth" 7;
+  O.set_gauge o "depth" 3;
+  check Alcotest.int "gauge overwrites" 3 (O.gauge o "depth");
+  O.add_time o "t" 0.5;
+  O.add_time o "t" 0.25;
+  check (Alcotest.float 1e-9) "timer accumulates" 0.75 (O.timer o "t");
+  let r = O.time o "t" (fun () -> 42) in
+  check Alcotest.int "time returns the result" 42 r;
+  check Alcotest.bool "time adds" true (O.timer o "t" >= 0.75)
+
+(* ---- registry: spans -------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let o = O.create () in
+  check Alcotest.int "empty stack" 0 (O.span_depth o);
+  O.with_span o "outer" (fun () ->
+      check Alcotest.int "depth 1" 1 (O.span_depth o);
+      O.with_span o "inner" (fun () ->
+          check Alcotest.int "depth 2" 2 (O.span_depth o));
+      check Alcotest.int "inner closed" 1 (O.span_depth o));
+  check Alcotest.int "stack empties" 0 (O.span_depth o);
+  check Alcotest.int "outer entered once" 1 (fst (O.span o "outer"));
+  check Alcotest.int "inner entered once" 1 (fst (O.span o "inner"))
+
+let test_span_mismatch_rejected () =
+  let o = O.create () in
+  O.span_begin o "a";
+  Alcotest.check_raises "LIFO violation"
+    (Invalid_argument "Obs.span_end: b closed while a is open") (fun () ->
+      O.span_end o "b");
+  O.span_end o "a";
+  Alcotest.check_raises "nothing open"
+    (Invalid_argument "Obs.span_end: no open span") (fun () ->
+      O.span_end o "a")
+
+let test_span_exception_safe () =
+  let o = O.create () in
+  (try O.with_span o "risky" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  check Alcotest.int "span closed despite raise" 0 (O.span_depth o);
+  check Alcotest.int "entry recorded" 1 (fst (O.span o "risky"))
+
+(* ---- registry: reset --------------------------------------------------------- *)
+
+let test_reset () =
+  let o = O.create () in
+  O.add o "a" 5;
+  O.set_gauge o "g" 1;
+  O.add_time o "t" 1.0;
+  O.with_span o "s" (fun () -> ());
+  O.span_begin o "open";
+  O.reset o;
+  check Alcotest.int "counters cleared" 0 (O.counter o "a");
+  check Alcotest.int "gauges cleared" 0 (O.gauge o "g");
+  check (Alcotest.float 1e-9) "timers cleared" 0.0 (O.timer o "t");
+  check Alcotest.int "spans cleared" 0 (fst (O.span o "s"));
+  check Alcotest.int "open span stack emptied" 0 (O.span_depth o);
+  check Alcotest.bool "still enabled after reset" true (O.enabled o)
+
+(* ---- the disabled sink is a true no-op ---------------------------------------- *)
+
+let test_noop_sink () =
+  let o = O.noop in
+  check Alcotest.bool "disabled" false (O.enabled o);
+  O.add o "x" 5;
+  O.add o "x" (-1) (* no validation cost either: nothing observes it *);
+  O.incr o "x";
+  O.set_gauge o "g" 9;
+  O.add_time o "t" 1.0;
+  O.note_changed_input o 4;
+  O.span_begin o "s";
+  O.span_end o "never-opened" (* mismatch invisible: nothing is tracked *);
+  let r = O.with_span o "w" (fun () -> 7) in
+  check Alcotest.int "with_span passes through" 7 r;
+  check Alcotest.int "counter" 0 (O.counter o "x");
+  check Alcotest.int "gauge" 0 (O.gauge o "g");
+  check (Alcotest.float 1e-9) "timer" 0.0 (O.timer o "t");
+  check Alcotest.int "span depth" 0 (O.span_depth o);
+  check Alcotest.bool "all snapshots empty" true
+    (O.counters o = [] && O.gauges o = [] && O.timers o = [] && O.spans o = [])
+
+let test_engines_default_to_noop () =
+  let g = labeled_graph [ "a"; "b" ] [ (0, 1) ] in
+  let t = Ig_kws.Inc_kws.init g { Ig_kws.Batch.keywords = [ "a" ]; bound = 1 } in
+  Ig_kws.Inc_kws.insert_edge t 1 0;
+  check Alcotest.bool "no registry unless requested" false
+    (O.enabled (Ig_kws.Inc_kws.obs t));
+  check Alcotest.bool "and nothing was recorded" true
+    (O.counters (Ig_kws.Inc_kws.obs t) = [])
+
+(* ---- per-engine smoke: |AFF| lands where the paper says ------------------------ *)
+
+(* Each case: an update the query can see must report aff > 0 and count its
+   ΔG and ΔO in [changed]; an update in a component the query cannot see
+   must report aff = 0 (while still counting its ΔG). *)
+
+let aff o = O.counter o O.K.aff
+let changed_in o = O.counter o O.K.changed_input
+let changed_out o = O.counter o O.K.changed_output
+
+let test_kws_aff () =
+  (* b sees keywords a and d within bound 2; the z-z island is invisible. *)
+  let g = labeled_graph [ "a"; "b"; "d"; "z"; "z" ] [ (1, 0); (1, 2) ] in
+  let q = { Ig_kws.Batch.keywords = [ "a"; "d" ]; bound = 2 } in
+  let o = O.create () in
+  let t = Ig_kws.Inc_kws.init ~obs:o g q in
+  Ig_kws.Inc_kws.insert_edge t 3 4;
+  ignore (Ig_kws.Inc_kws.flush_delta t);
+  check Alcotest.int "island insert: ΔG counted" 1 (changed_in o);
+  check Alcotest.int "island insert: aff = 0" 0 (aff o);
+  O.reset o;
+  Ig_kws.Inc_kws.delete_edge t 1 2;
+  ignore (Ig_kws.Inc_kws.flush_delta t);
+  check Alcotest.bool "keyword edge delete: aff > 0" true (aff o > 0);
+  check Alcotest.bool "root lost: ΔO counted" true (changed_out o > 0);
+  Ig_kws.Inc_kws.check_invariants t
+
+let test_rpq_aff () =
+  let g = labeled_graph [ "a"; "b"; "z"; "z" ] [ (0, 1) ] in
+  let o = O.create () in
+  let t = Ig_rpq.Inc_rpq.create ~obs:o g (Ig_nfa.Regex.parse_exn "a . b") in
+  check Alcotest.bool "initial match present" true (Ig_rpq.Inc_rpq.is_match t 0 1);
+  Ig_rpq.Inc_rpq.insert_edge t 2 3;
+  ignore (Ig_rpq.Inc_rpq.flush_delta t);
+  check Alcotest.int "z-z insert: ΔG counted" 1 (changed_in o);
+  check Alcotest.int "z-z insert: aff = 0" 0 (aff o);
+  O.reset o;
+  Ig_rpq.Inc_rpq.delete_edge t 0 1;
+  ignore (Ig_rpq.Inc_rpq.flush_delta t);
+  check Alcotest.bool "match edge delete: aff > 0" true (aff o > 0);
+  check Alcotest.bool "match lost: ΔO counted" true (changed_out o > 0);
+  Ig_rpq.Inc_rpq.check_invariants t
+
+let test_scc_aff () =
+  let g = labeled_graph [ "x"; "x"; "x"; "x" ] [ (0, 1); (2, 3) ] in
+  let o = O.create () in
+  let t = Ig_scc.Inc_scc.init ~obs:o g in
+  Ig_scc.Inc_scc.delete_edge t 2 3;
+  ignore (Ig_scc.Inc_scc.flush_delta t);
+  check Alcotest.int "inter-component delete: ΔG counted" 1 (changed_in o);
+  check Alcotest.int "inter-component delete: aff = 0" 0 (aff o);
+  O.reset o;
+  Ig_scc.Inc_scc.insert_edge t 1 0;
+  ignore (Ig_scc.Inc_scc.flush_delta t);
+  check Alcotest.bool "cycle-closing insert: aff ≥ 2" true (aff o >= 2);
+  check Alcotest.bool "components merged: ΔO counted" true (changed_out o > 0);
+  Ig_scc.Inc_scc.check_invariants t
+
+let test_sim_aff () =
+  let p = Ig_iso.Pattern.create ~labels:[ "p"; "q" ] ~edges:[ (0, 1) ] in
+  let g = labeled_graph [ "p"; "q"; "z"; "z" ] [ (0, 1); (2, 3) ] in
+  let o = O.create () in
+  let t = Ig_sim.Inc_sim.init ~obs:o g p in
+  Ig_sim.Inc_sim.delete_edge t 2 3;
+  ignore (Ig_sim.Inc_sim.flush_delta t);
+  check Alcotest.int "z-z delete: ΔG counted" 1 (changed_in o);
+  check Alcotest.int "z-z delete: aff = 0" 0 (aff o);
+  O.reset o;
+  Ig_sim.Inc_sim.delete_edge t 0 1;
+  ignore (Ig_sim.Inc_sim.flush_delta t);
+  check Alcotest.bool "support edge delete: aff > 0" true (aff o > 0);
+  check Alcotest.bool "pairs lost: ΔO counted" true (changed_out o > 0);
+  Ig_sim.Inc_sim.check_invariants t
+
+let test_iso_aff () =
+  let p = Ig_iso.Pattern.create ~labels:[ "p"; "q" ] ~edges:[ (0, 1) ] in
+  let g =
+    labeled_graph [ "p"; "q"; "z"; "z"; "p"; "q" ] [ (0, 1); (2, 3) ]
+  in
+  let o = O.create () in
+  let t = Ig_iso.Inc_iso.init ~obs:o g p in
+  check Alcotest.int "one initial match" 1 (Ig_iso.Inc_iso.n_matches t);
+  Ig_iso.Inc_iso.delete_edge t 2 3;
+  ignore (Ig_iso.Inc_iso.flush_delta t);
+  check Alcotest.int "z-z delete: ΔG counted" 1 (changed_in o);
+  check Alcotest.int "z-z delete: aff = 0" 0 (aff o);
+  O.reset o;
+  Ig_iso.Inc_iso.insert_edge t 4 5;
+  ignore (Ig_iso.Inc_iso.flush_delta t);
+  check Alcotest.bool "match-creating insert: aff > 0" true (aff o > 0);
+  check Alcotest.bool "neighborhood explored" true
+    (O.counter o O.K.nodes_visited > 0);
+  check Alcotest.bool "match gained: ΔO counted" true (changed_out o > 0);
+  O.reset o;
+  Ig_iso.Inc_iso.delete_edge t 0 1;
+  ignore (Ig_iso.Inc_iso.flush_delta t);
+  check Alcotest.bool "match edge delete: aff > 0" true (aff o > 0);
+  Ig_iso.Inc_iso.check_invariants t
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters are monotonic" `Quick
+            test_counter_monotonic;
+          Alcotest.test_case "snapshots are sorted" `Quick
+            test_counter_snapshot_sorted;
+          Alcotest.test_case "changed aggregates ΔG + ΔO" `Quick
+            test_changed_aggregates;
+          Alcotest.test_case "diff_counters" `Quick test_diff_counters;
+          Alcotest.test_case "gauges and timers" `Quick test_gauges_and_timers;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span mismatch rejected" `Quick
+            test_span_mismatch_rejected;
+          Alcotest.test_case "spans survive exceptions" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "disabled sink",
+        [
+          Alcotest.test_case "noop is a true no-op" `Quick test_noop_sink;
+          Alcotest.test_case "engines default to noop" `Quick
+            test_engines_default_to_noop;
+        ] );
+      ( "engine smoke",
+        [
+          Alcotest.test_case "KWS aff localization" `Quick test_kws_aff;
+          Alcotest.test_case "RPQ aff localization" `Quick test_rpq_aff;
+          Alcotest.test_case "SCC aff localization" `Quick test_scc_aff;
+          Alcotest.test_case "Sim aff localization" `Quick test_sim_aff;
+          Alcotest.test_case "ISO aff localization" `Quick test_iso_aff;
+        ] );
+    ]
