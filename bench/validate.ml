@@ -1,12 +1,19 @@
-(* Validate a BENCH_*.json report against the current schema.
+(* Validate BENCH_*.json reports and TRACE_*.json Chrome trace files.
 
    Usage: dune exec bench/validate.exe -- FILE [FILE...]
-   Exits nonzero on the first file that fails to parse or validate. Used by
-   the @bench-smoke alias to guarantee that what bench/main.exe writes is
-   what lib/obs/report.ml promises. *)
+   Files carrying a "traceEvents" key are checked as Chrome trace-event
+   exports (Core.Obs.Trace_export.validate: well-formed events, nesting
+   spans, monotone timestamps, rule-tagged aff_enter instants); everything
+   else is checked as a BENCH report. Exits nonzero on the first file that
+   fails to parse or validate. Used by the @bench-smoke and @trace-smoke
+   aliases to guarantee that what the writers emit is what the validators
+   promise. *)
 
 module Json = Core.Obs.Json
 module Report = Core.Obs.Report
+module Trace_export = Core.Obs.Trace_export
+
+type kind = Bench of int * int | Trace of int
 
 let check path =
   let ic = open_in_bin path in
@@ -15,6 +22,10 @@ let check path =
   close_in ic;
   match Json.parse src with
   | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
+  | Ok json when Json.member "traceEvents" json <> None -> (
+      match Trace_export.validate json with
+      | Error e -> Error (Printf.sprintf "%s: trace violation: %s" path e)
+      | Ok n -> Ok (Trace n))
   | Ok json -> (
       match Report.validate json with
       | Error e -> Error (Printf.sprintf "%s: schema violation: %s" path e)
@@ -31,7 +42,7 @@ let check path =
                     0 exps )
             | _ -> (0, 0)
           in
-          Ok (n_exp, n_pts))
+          Ok (Bench (n_exp, n_pts)))
 
 let () =
   let files =
@@ -44,9 +55,11 @@ let () =
   List.iter
     (fun path ->
       match check path with
-      | Ok (n_exp, n_pts) ->
+      | Ok (Bench (n_exp, n_pts)) ->
           Printf.printf "%s: valid (schema v%d, %d experiments, %d points)\n"
             path Report.schema_version n_exp n_pts
+      | Ok (Trace n) ->
+          Printf.printf "%s: valid chrome trace (%d events)\n" path n
       | Error msg ->
           prerr_endline msg;
           exit 1)

@@ -7,6 +7,8 @@
      fuzz       differential soak: incremental engines vs batch oracles
      bench      incremental vs batch on one query, with cost counters
      stats      cost-accounting snapshot of one incremental session
+     trace      dump a Chrome trace-event file of one traced session
+     explain    per-update AFF provenance with the paper-rule histogram
 
    Examples:
      incgraph generate -p dbpedia -s 0.1 -o kg.txt
@@ -16,7 +18,9 @@
      incgraph stream -g kg.txt --batches 5 --size 500 kws -b 2 actor award
      incgraph fuzz --algo scc --steps 5000 --seed 2017
      incgraph bench -g kg.txt --size 500 --json scc
-     incgraph stats -g kg.txt --json kws -b 2 actor award *)
+     incgraph stats -g kg.txt --json kws -b 2 actor award
+     incgraph trace -g kg.txt --batches 2 -o TRACE_scc.json scc
+     incgraph explain --gadget 4 *)
 
 open Cmdliner
 
@@ -90,6 +94,7 @@ type qspec =
   | Qrpq of Core.Regex.t
   | Qscc
   | Qiso of string list * (int * int) list
+  | Qsim of string list * (int * int) list
 
 let qspec_of ~cls ~bound ~args =
   match (cls, args) with
@@ -102,7 +107,7 @@ let qspec_of ~cls ~bound ~args =
       | Ok q -> Ok (Qrpq q)
       | Error e -> Error ("bad regex: " ^ e))
   | "rpq", _ -> Error "rpq needs exactly one regex argument"
-  | "iso", (_ :: _ as spec) ->
+  | (("iso" | "sim") as which), (_ :: _ as spec) ->
       (* labels then edges: l1 l2 l3 0-1 1-2 2-0 *)
       let labels, edges =
         List.partition (fun s -> not (String.contains s '-')) spec
@@ -112,16 +117,19 @@ let qspec_of ~cls ~bound ~args =
         | [ a; b ] -> (int_of_string a, int_of_string b)
         | _ -> failwith "bad edge"
       in
-      (try Ok (Qiso (labels, List.map parse_edge edges))
-       with _ -> Error "iso edges look like 0-1 1-2")
+      (try
+         let es = List.map parse_edge edges in
+         Ok (if which = "iso" then Qiso (labels, es) else Qsim (labels, es))
+       with _ -> Error (which ^ " edges look like 0-1 1-2"))
   | "iso", [] -> Error "iso needs labels and edges"
+  | "sim", [] -> Error "sim needs labels and edges"
   | c, _ -> Error (Printf.sprintf "unknown query class %S" c)
 
 let cls_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"CLASS" ~doc:"Query class: kws, rpq, scc or iso.")
+    & info [] ~docv:"CLASS" ~doc:"Query class: kws, rpq, scc, sim or iso.")
 
 let qargs_arg =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"QUERY"
@@ -148,6 +156,12 @@ let run_query g = function
       let p = Core.Iso.Pattern.create ~labels ~edges in
       let ms, t = time (fun () -> Core.Iso.Vf2.find_all g p) in
       Format.printf "ISO: %d matches in %.3fs@." (List.length ms) t
+  | Qsim (labels, edges) ->
+      let p = Core.Iso.Pattern.create ~labels ~edges in
+      let ps, t =
+        time (fun () -> Core.Sim.Batch.pairs (Core.Sim.Batch.run p g))
+      in
+      Format.printf "SIM: %d relation pairs in %.3fs@." (List.length ps) t
 
 let query_cmd =
   let run path cls bound args =
@@ -234,7 +248,19 @@ let stream_cmd =
                 let d = Core.Iso_session.update s ups in
                 Printf.sprintf "matches +%d/-%d"
                   (List.length d.Core.Iso.Inc.added)
-                  (List.length d.Core.Iso.Inc.removed)));
+                  (List.length d.Core.Iso.Inc.removed))
+        | Qsim (labels, edges) ->
+            let p = Core.Iso.Pattern.create ~labels ~edges in
+            let s = Core.Sim_session.create (Core.Digraph.copy g) p in
+            step
+              (fun () ->
+                Printf.sprintf "%d pairs"
+                  (List.length (Core.Sim_session.answer s)))
+              (fun ups ->
+                let d = Core.Sim_session.update s ups in
+                Printf.sprintf "pairs +%d/-%d"
+                  (List.length d.Core.Sim.Inc.added)
+                  (List.length d.Core.Sim.Inc.removed)));
         `Ok ()
   in
   Cmd.v
@@ -260,38 +286,46 @@ let size_arg =
     & info [ "size" ] ~doc:"Unit updates per batch." ~docv:"N")
 
 (* Build an incremental engine over a copy of [g] with a live metrics
-   registry. Returns the registry, the batch-apply entry point, the batch
-   counterpart (for speedups), and the two series names. *)
-let session_with_obs g spec =
+   registry (and, optionally, a live tracer). Returns the registry, the
+   batch-apply entry point, the batch counterpart (for speedups), and the
+   two series names. *)
+let session_with_obs ?(trace = Obs.Tracer.noop) g spec =
   let o = Obs.create () in
   let copy = Core.Digraph.copy g in
   match spec with
   | Qkws q ->
-      let s = Core.Kws.Inc.init ~obs:o copy q in
+      let s = Core.Kws.Inc.init ~obs:o ~trace copy q in
       ( o,
         (fun ups -> ignore (Core.Kws.Inc.apply_batch s ups)),
         (fun g' -> ignore (Core.Kws.Batch.run g' q)),
         "IncKWS", "BLINKS" )
   | Qrpq q ->
       let a = Core.Nfa.compile (Core.Digraph.interner g) q in
-      let s = Core.Rpq.Inc.init ~obs:o copy a in
+      let s = Core.Rpq.Inc.init ~obs:o ~trace copy a in
       ( o,
         (fun ups -> ignore (Core.Rpq.Inc.apply_batch s ups)),
         (fun g' -> ignore (Core.Rpq.Batch.run g' a)),
         "IncRPQ", "RPQNFA" )
   | Qscc ->
-      let s = Core.Scc.Inc.init ~obs:o copy in
+      let s = Core.Scc.Inc.init ~obs:o ~trace copy in
       ( o,
         (fun ups -> ignore (Core.Scc.Inc.apply_batch s ups)),
         (fun g' -> ignore (Core.Scc.Tarjan.scc g')),
         "IncSCC", "Tarjan" )
   | Qiso (labels, edges) ->
       let p = Core.Iso.Pattern.create ~labels ~edges in
-      let s = Core.Iso.Inc.init ~obs:o copy p in
+      let s = Core.Iso.Inc.init ~obs:o ~trace copy p in
       ( o,
         (fun ups -> ignore (Core.Iso.Inc.apply_batch s ups)),
         (fun g' -> ignore (Core.Iso.Vf2.find_all g' p)),
         "IncISO", "VF2" )
+  | Qsim (labels, edges) ->
+      let p = Core.Iso.Pattern.create ~labels ~edges in
+      let s = Core.Sim.Inc.init ~obs:o ~trace copy p in
+      ( o,
+        (fun ups -> ignore (Core.Sim.Inc.apply_batch s ups)),
+        (fun g' -> ignore (Core.Sim.Batch.run p g')),
+        "IncSim", "SimFix" )
 
 let bench_cmd =
   let reps =
@@ -431,6 +465,171 @@ let stats_cmd =
         (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
        $ size_arg $ seed_arg $ json_flag))
 
+(* ---- trace / explain ------------------------------------------------------- *)
+
+module Tracer = Core.Obs.Tracer
+module Trace_export = Core.Obs.Trace_export
+
+let batches_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "batches" ] ~doc:"Update batches to apply." ~docv:"N")
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "TRACE_incgraph.json"
+      & info [ "o"; "out" ] ~doc:"Output trace file." ~docv:"FILE")
+  in
+  let cap =
+    Arg.(
+      value
+      & opt int Tracer.default_capacity
+      & info [ "capacity" ]
+          ~doc:"Ring-buffer capacity; older events beyond it are dropped."
+          ~docv:"N")
+  in
+  let run path cls bound args batches size seed out cap =
+    match qspec_of ~cls ~bound ~args with
+    | Error e -> `Error (false, e)
+    | Ok spec ->
+        let g = Core.Io.load path in
+        let rng = Random.State.make [| seed |] in
+        let tr = Tracer.create ~capacity:cap () in
+        let _, apply, _, inc_name, _ = session_with_obs ~trace:tr g spec in
+        for _ = 1 to batches do
+          let ups = Core.Workload.Updates.generate ~rng g ~size () in
+          Core.Digraph.apply_batch g ups (* keep generator in sync *);
+          apply ups
+        done;
+        let snap = Tracer.snapshot tr in
+        Trace_export.write_chrome ~path:out ~name:inc_name snap;
+        Format.printf "%s: %d event(s)%s -> %s@." inc_name
+          (List.length snap.Tracer.entries)
+          (if snap.Tracer.drops > 0 then
+             Printf.sprintf " (ring buffer dropped %d older)" snap.Tracer.drops
+           else "")
+          out;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Drive one incremental session over a seeded random update stream \
+          with structured tracing on, and write the event log — AFF entries \
+          tagged with the paper rule that fired, certificate rewrites with \
+          before/after values, frontier expansions, engine spans — as a \
+          Chrome trace-event file loadable in Perfetto (ui.perfetto.dev) or \
+          chrome://tracing. Deterministic for a fixed graph and seed.")
+    Term.(
+      ret
+        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches_arg
+       $ size_arg $ seed_arg $ out $ cap))
+
+(* Worked explanation of the Figure 9 gadget: Δ1 is output-silent yet the
+   trace shows Ω(cycle) settling work; Δ2 flips the whole answer on. *)
+let explain_gadget n limit =
+  let gd = Core.Theory.Gadget.make ~cycle:n in
+  let tr = Tracer.create () in
+  let s = Core.Rpq.Inc.create ~trace:tr gd.Core.Theory.Gadget.graph
+      gd.Core.Theory.Gadget.query in
+  let explain name u =
+    Tracer.clear tr;
+    let d = Core.Rpq.Inc.apply_batch s [ u ] in
+    Format.printf "@.== %s: |ΔO| = %d ==@.%a@." name
+      (List.length d.Core.Rpq.Inc.added + List.length d.Core.Rpq.Inc.removed)
+      (Trace_export.pp_explain ~limit)
+      (Tracer.snapshot tr)
+  in
+  Format.printf
+    "Figure 9 gadget, cycle length %d (two disjoint cycles + sink):@." n;
+  explain "Δ1 (bridge the cycles — output stays empty)"
+    gd.Core.Theory.Gadget.delta1;
+  explain "Δ2 (connect to the sink — every v-node now matches)"
+    gd.Core.Theory.Gadget.delta2
+
+let explain_cmd =
+  let gadget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gadget" ]
+          ~doc:
+            "Explain the Figure 9 two-cycle gadget of cycle length $(docv) \
+             instead of a graph/class run (no other arguments needed)."
+          ~docv:"N")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ]
+          ~doc:"Events to print per update batch; negative prints all."
+          ~docv:"N")
+  in
+  let graph_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "g"; "graph" ]
+          ~doc:"Graph file in the incgraph text format (see Core.Io)."
+          ~docv:"FILE")
+  in
+  let cls_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"CLASS" ~doc:"Query class: kws, rpq, scc, sim or iso.")
+  in
+  let run gadget limit path cls bound args batches size seed =
+    match gadget with
+    | Some n when n >= 2 ->
+        explain_gadget n limit;
+        `Ok ()
+    | Some n -> `Error (false, Printf.sprintf "--gadget %d: cycle must be >= 2" n)
+    | None -> (
+        match (path, cls) with
+        | None, _ | _, None ->
+            `Error
+              (false, "need either --gadget N or a graph (-g) and a CLASS")
+        | Some path, Some cls -> (
+            match qspec_of ~cls ~bound ~args with
+            | Error e -> `Error (false, e)
+            | Ok spec ->
+                let g = Core.Io.load path in
+                let rng = Random.State.make [| seed |] in
+                let tr = Tracer.create () in
+                let _, apply, _, inc_name, _ =
+                  session_with_obs ~trace:tr g spec
+                in
+                for round = 1 to batches do
+                  let ups =
+                    Core.Workload.Updates.generate ~rng g ~size ()
+                  in
+                  Core.Digraph.apply_batch g ups (* keep generator in sync *);
+                  Tracer.clear tr;
+                  apply ups;
+                  Format.printf "@.== %s batch %d (|ΔG| = %d) ==@.%a@."
+                    inc_name round (List.length ups)
+                    (Trace_export.pp_explain ~limit)
+                    (Tracer.snapshot tr)
+                done;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Per-update AFF provenance: apply update batches with tracing on \
+          and print, for each batch, which rules of the paper's algorithms \
+          put nodes into AFF (rule histogram), which certificate fields were \
+          rewritten, and the event log. With $(b,--gadget), runs the Figure \
+          9 two-cycle counterexample instead: Δ1 is output-silent yet \
+          traces Ω(n) settling work, Δ2 then flips the answer on.")
+    Term.(
+      ret
+        (const run $ gadget $ limit $ graph_opt $ cls_opt $ bound_arg
+       $ qargs_arg $ batches_arg $ size_arg $ seed_arg))
+
 (* ---- fuzz ----------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -498,10 +697,13 @@ let fuzz_cmd =
             | Error f ->
                 failed := true;
                 Format.printf " FAILED@.%a@." C.Harness.pp_failure f;
-                let gpath, upath =
+                let gpath, upath, tpath =
                   C.Harness.save_failure ~dir:out_dir ~base:s.C.Scenarios.base f
                 in
-                Format.printf "artifacts: %s, %s@." gpath upath)
+                Format.printf "artifacts: %s, %s%s@." gpath upath
+                  (match tpath with
+                  | Some p -> ", " ^ p
+                  | None -> ""))
           scenarios;
         if !failed then `Error (false, "fuzzing found failures (see above)")
         else `Ok ()
@@ -532,4 +734,6 @@ let () =
             fuzz_cmd;
             bench_cmd;
             stats_cmd;
+            trace_cmd;
+            explain_cmd;
           ]))

@@ -1,5 +1,6 @@
 module Digraph = Ig_graph.Digraph
 module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
 
 (* ---- canonical answer forms -------------------------------------------- *)
 
@@ -46,13 +47,14 @@ module Kws = struct
   type query = Ig_kws.Batch.query
 
   let name = "kws"
-  let init g q = I.init ~obs:(Obs.create ()) g q
+  let init g q = I.init ~obs:(Obs.create ()) ~trace:(Tracer.create ()) g q
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_nodes (I.match_roots t)
   let recompute t = canon_nodes (Ig_kws.Batch.run (I.graph t) (I.query t))
   let check_invariants = I.check_invariants
   let obs = I.obs
+  let trace = I.trace
 end
 
 (* ---- RPQ ---------------------------------------------------------------- *)
@@ -64,7 +66,8 @@ module Rpq = struct
   type query = Ig_nfa.Regex.t
 
   let name = "rpq"
-  let init g q = { s = I.create ~obs:(Obs.create ()) g q; q }
+  let init g q =
+    { s = I.create ~obs:(Obs.create ()) ~trace:(Tracer.create ()) g q; q }
   let graph t = I.graph t.s
 
   let apply t =
@@ -74,6 +77,7 @@ module Rpq = struct
   let recompute t = canon_pairs (Ig_rpq.Batch.run_query (graph t) t.q)
   let check_invariants t = I.check_invariants t.s
   let obs t = I.obs t.s
+  let trace t = I.trace t.s
 end
 
 (* ---- SCC ---------------------------------------------------------------- *)
@@ -85,13 +89,15 @@ module Scc = struct
   type query = I.config
 
   let name = "scc"
-  let init g config = I.init ~config ~obs:(Obs.create ()) g
+  let init g config =
+    I.init ~config ~obs:(Obs.create ()) ~trace:(Tracer.create ()) g
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_comps (I.components t)
   let recompute t = canon_comps (Ig_scc.Tarjan.scc (I.graph t))
   let check_invariants = I.check_invariants
   let obs = I.obs
+  let trace = I.trace
 end
 
 (* ---- Sim ---------------------------------------------------------------- *)
@@ -103,7 +109,7 @@ module Sim = struct
   type query = Ig_iso.Pattern.t
 
   let name = "sim"
-  let init g p = I.init ~obs:(Obs.create ()) g p
+  let init g p = I.init ~obs:(Obs.create ()) ~trace:(Tracer.create ()) g p
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_pairs (Ig_sim.Sim.pairs (I.relation t))
@@ -113,6 +119,7 @@ module Sim = struct
 
   let check_invariants = I.check_invariants
   let obs = I.obs
+  let trace = I.trace
 end
 
 (* ---- ISO ---------------------------------------------------------------- *)
@@ -124,7 +131,7 @@ module Iso = struct
   type query = Ig_iso.Pattern.t
 
   let name = "iso"
-  let init g p = I.init ~obs:(Obs.create ()) g p
+  let init g p = I.init ~obs:(Obs.create ()) ~trace:(Tracer.create ()) g p
   let graph = I.graph
   let apply t = apply_edge ~ins:(I.insert_edge t) ~del:(I.delete_edge t)
   let answer t = canon_mappings (I.pattern t) (I.matches t)
@@ -134,6 +141,7 @@ module Iso = struct
 
   let check_invariants = I.check_invariants
   let obs = I.obs
+  let trace = I.trace
 end
 
 (* ---- packed constructors ------------------------------------------------ *)

@@ -1,4 +1,5 @@
 module Digraph = Ig_graph.Digraph
+module Tracer = Ig_obs.Tracer
 
 type failure = {
   algo : string;
@@ -7,6 +8,7 @@ type failure = {
   reason : string;
   stream : Digraph.update list;
   shrunk : Digraph.update list;
+  trace : Tracer.snapshot option;
 }
 
 let replay_fails ~make stream =
@@ -24,6 +26,34 @@ let replay_fails ~make stream =
   | () -> false
   | exception _ -> true
 
+let split_last us =
+  match List.rev us with
+  | [] -> None
+  | last :: rev_init -> Some (List.rev rev_init, last)
+
+(* Replay [stream] on a fresh oracle and return the event log of its last
+   update — the failing step of a (shrunk) reproducer. The tracer is
+   cleared right before that update so the snapshot explains exactly the
+   step where the violation surfaced. [None] when the stream is empty or
+   the adapter was built without a live tracer. *)
+let capture_trace ~make stream =
+  match split_last stream with
+  | None -> None
+  | Some (init, last) ->
+      let inst = make () in
+      let tr = Oracle.trace inst in
+      if not (Tracer.enabled tr) then None
+      else begin
+        (* The replay is expected to blow up — that is what it reproduces. *)
+        (try List.iter (fun u -> Oracle.apply inst u) init with _ -> ());
+        Tracer.clear tr;
+        (try
+           Oracle.apply inst last;
+           Oracle.check inst
+         with _ -> ());
+        Some (Tracer.snapshot tr)
+      end
+
 let run ~make ?(focus = []) ~steps ~seed () =
   let inst = make () in
   let algo = Oracle.name inst in
@@ -33,7 +63,8 @@ let run ~make ?(focus = []) ~steps ~seed () =
        [make] should never produce) is reported unshrunk. *)
     let fails = replay_fails ~make in
     let shrunk = if fails stream then Shrink.ddmin ~fails stream else stream in
-    Error { algo; seed; step; reason; stream; shrunk }
+    let trace = capture_trace ~make shrunk in
+    Error { algo; seed; step; reason; stream; shrunk; trace }
   in
   match Oracle.check inst with
   | exception Oracle.Check_failed msg -> fail 0 msg []
@@ -77,7 +108,22 @@ let pp_failure ppf f =
      failing stream: %d updates, shrunk to %d@,\
      minimal reproducer:@,  %a@]"
     f.algo f.seed f.step f.reason (List.length f.stream)
-    (List.length f.shrunk) pp_stream f.shrunk
+    (List.length f.shrunk) pp_stream f.shrunk;
+  match f.trace with
+  | None -> ()
+  | Some snap ->
+      Format.fprintf ppf "@,failing step: %d event(s)%s"
+        (List.length snap.Tracer.entries)
+        (if snap.Tracer.drops > 0 then
+           Printf.sprintf " (+%d dropped)" snap.Tracer.drops
+         else "");
+      (match Tracer.rule_histogram snap with
+      | [] -> ()
+      | hist ->
+          Format.fprintf ppf "@,AFF provenance:";
+          List.iter
+            (fun (r, c) -> Format.fprintf ppf "@,  %-22s %6d" r c)
+            hist)
 
 let save_failure ~dir ~base f =
   let stem = Printf.sprintf "fuzz-%s-seed%d" f.algo f.seed in
@@ -99,4 +145,12 @@ let save_failure ~dir ~base f =
       | Digraph.Delete (u, v) -> Printf.fprintf oc "# - %d %d\n" u v)
     f.stream;
   close_out oc;
-  (gpath, upath)
+  let tpath =
+    match f.trace with
+    | None -> None
+    | Some snap ->
+        let p = Filename.concat dir (stem ^ ".trace.json") in
+        Ig_obs.Trace_export.write_chrome ~path:p ~name:f.algo snap;
+        Some p
+  in
+  (gpath, upath, tpath)

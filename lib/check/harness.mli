@@ -16,6 +16,10 @@ type failure = {
   reason : string;
   stream : Ig_graph.Digraph.update list;  (** failing prefix, in order *)
   shrunk : Ig_graph.Digraph.update list;  (** 1-minimal reproducer *)
+  trace : Ig_obs.Tracer.snapshot option;
+      (** event log of the shrunk reproducer's failing step (the tracer is
+          cleared before the last update of a fresh replay), when the
+          adapter was built with a live tracer *)
 }
 
 val run :
@@ -44,9 +48,13 @@ val pp_stream : Format.formatter -> Ig_graph.Digraph.update list -> unit
 val pp_failure : Format.formatter -> failure -> unit
 
 val save_failure :
-  dir:string -> base:Ig_graph.Digraph.t -> failure -> string * string
+  dir:string ->
+  base:Ig_graph.Digraph.t ->
+  failure ->
+  string * string * string option
 (** Persist reproduction artifacts: [fuzz-<algo>-seed<seed>.graph] (the base
-    graph in the {!Ig_graph.Io} text format) and
+    graph in the {!Ig_graph.Io} text format),
     [fuzz-<algo>-seed<seed>.updates] (the shrunk stream, one [+ u v] /
-    [- u v] line per update, full stream appended as comments). Returns the
-    two paths. *)
+    [- u v] line per update, full stream appended as comments) and — when
+    the failure carries a trace — [fuzz-<algo>-seed<seed>.trace.json] (the
+    failing step's event log as a Chrome trace). Returns the paths. *)

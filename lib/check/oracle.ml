@@ -10,6 +10,7 @@ module type ORACLE = sig
   val recompute : t -> string
   val check_invariants : t -> unit
   val obs : t -> Ig_obs.Obs.t
+  val trace : t -> Ig_obs.Tracer.t
 end
 
 type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
@@ -21,6 +22,7 @@ let answer (Packed ((module O), t)) = O.answer t
 let recompute (Packed ((module O), t)) = O.recompute t
 let check_invariants (Packed ((module O), t)) = O.check_invariants t
 let obs (Packed ((module O), t)) = O.obs t
+let trace (Packed ((module O), t)) = O.trace t
 
 exception Check_failed of string
 
@@ -41,7 +43,8 @@ let check_metrics ~prev inst =
   if depth <> 0 then
     raise
       (Check_failed
-         (Printf.sprintf "metrics: %d span(s) still open after step" depth));
+         (Printf.sprintf "metrics: %d span(s) still open after step: %s" depth
+            (String.concat ", " (Ig_obs.Obs.open_spans o))));
   let cur = Ig_obs.Obs.counters o in
   List.iter
     (fun (k, v) ->

@@ -44,6 +44,11 @@ module type ORACLE = sig
   (** The engine's metrics sink. Adapters create engines with a live
       registry so the harness can validate the metrics invariants
       alongside the answers. *)
+
+  val trace : t -> Ig_obs.Tracer.t
+  (** The engine's event tracer. Adapters create engines with a live
+      tracer so failure reports can attach the event log of the failing
+      step ({!Harness.failure.trace}). *)
 end
 
 type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
@@ -56,6 +61,7 @@ val answer : packed -> string
 val recompute : packed -> string
 val check_invariants : packed -> unit
 val obs : packed -> Ig_obs.Obs.t
+val trace : packed -> Ig_obs.Tracer.t
 
 exception Check_failed of string
 (** Raised by {!check} and {!check_metrics} with a human-readable

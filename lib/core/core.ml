@@ -2,6 +2,8 @@ module Obs = struct
   include Ig_obs.Obs
   module Json = Ig_obs.Json
   module Report = Ig_obs.Report
+  module Tracer = Ig_obs.Tracer
+  module Trace_export = Ig_obs.Trace_export
 end
 
 module Digraph = Ig_graph.Digraph
@@ -120,4 +122,16 @@ module Iso_session = struct
   let update = Ig_iso.Inc_iso.apply_batch
   let answer = Ig_iso.Inc_iso.matches
   let graph = Ig_iso.Inc_iso.graph
+end
+
+module Sim_session = struct
+  type t = Ig_sim.Inc_sim.t
+  type query = Ig_iso.Pattern.t
+  type answer = (int * Digraph.node) list
+  type delta = Ig_sim.Inc_sim.delta
+
+  let create g p = Ig_sim.Inc_sim.init g p
+  let update = Ig_sim.Inc_sim.apply_batch
+  let answer t = Ig_sim.Sim.pairs (Ig_sim.Inc_sim.relation t)
+  let graph = Ig_sim.Inc_sim.graph
 end

@@ -29,7 +29,14 @@
     engine reports into (counters for measured |AFF| and |CHANGED|, scoped
     spans, timers), plus the JSON substrate and the schema-versioned BENCH
     report format built on it. Pass [Obs.create ()] as [?obs] at engine
-    creation to enable measurement; the default sink is a no-op. *)
+    creation to enable measurement; the default sink is a no-op.
+
+    {!Obs.Tracer} is the structured-event sibling: a bounded ring buffer of
+    typed events (AFF entry with the rule of the paper's pseudocode that
+    fired, certificate rewrites with before/after, frontier expansions)
+    that every engine accepts as [?trace] at creation.
+    {!Obs.Trace_export} renders snapshots as Chrome trace-event JSON
+    (Perfetto-loadable) or a human-readable explanation. *)
 module Obs : sig
   include module type of struct
     include Ig_obs.Obs
@@ -37,6 +44,8 @@ module Obs : sig
 
   module Json = Ig_obs.Json
   module Report = Ig_obs.Report
+  module Tracer = Ig_obs.Tracer
+  module Trace_export = Ig_obs.Trace_export
 end
 
 module Digraph = Ig_graph.Digraph
@@ -155,3 +164,10 @@ module Iso_session :
      and type answer = Ig_iso.Vf2.mapping list
      and type delta = Ig_iso.Inc_iso.delta
      and type t = Ig_iso.Inc_iso.t
+
+module Sim_session :
+  Session
+    with type query = Ig_iso.Pattern.t
+     and type answer = (int * Digraph.node) list
+     and type delta = Ig_sim.Inc_sim.delta
+     and type t = Ig_sim.Inc_sim.t

@@ -1,6 +1,7 @@
 module Digraph = Ig_graph.Digraph
 module Traverse = Ig_graph.Traverse
 module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
 
 type node = Digraph.node
 
@@ -12,6 +13,7 @@ type t = {
   g : Digraph.t;
   p : Pattern.t;
   obs : Obs.t;
+  trace : Tracer.t;
   grouped : bool;
   dq : int;
   matches : (Vf2.canon, Vf2.mapping) Hashtbl.t;
@@ -25,6 +27,7 @@ let graph t = t.g
 let pattern t = t.p
 let stats t = t.st
 let obs t = t.obs
+let trace t = t.trace
 
 let reset_stats t =
   t.st.ball_nodes <- 0;
@@ -32,6 +35,9 @@ let reset_stats t =
 
 let image_edges t m =
   List.map (fun (u, v) -> (m.(u), m.(v))) (Pattern.edges t.p)
+
+let show_mapping m =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list m)) ^ "]"
 
 let add_match t c m =
   if not (Hashtbl.mem t.matches c) then begin
@@ -48,6 +54,11 @@ let add_match t c m =
         in
         Hashtbl.replace set c ())
       (image_edges t m);
+    if Tracer.enabled t.trace then begin
+      Tracer.aff_enter t.trace ~node:m.(0) ~rule:Tracer.Iso_ball_rematch;
+      Tracer.cert_rewrite t.trace ~node:m.(0) ~field:"match" ~before:"absent"
+        ~after:(show_mapping m)
+    end;
     if Hashtbl.mem t.lost c then Hashtbl.remove t.lost c
     else Hashtbl.replace t.gained c m
   end
@@ -84,7 +95,18 @@ let process_delete t e =
       let n = List.length cs in
       Obs.add t.obs Obs.K.aff n;
       Obs.add t.obs Obs.K.cert_rewrites n;
-      List.iter (fun c -> remove_match t c) cs
+      List.iter
+        (fun c ->
+          (if Tracer.enabled t.trace then
+             match Hashtbl.find_opt t.matches c with
+             | Some m ->
+                 Tracer.aff_enter t.trace ~node:m.(0)
+                   ~rule:Tracer.Iso_match_broken;
+                 Tracer.cert_rewrite t.trace ~node:m.(0) ~field:"match"
+                   ~before:(show_mapping m) ~after:"removed"
+             | None -> ());
+          remove_match t c)
+        cs
 
 (* Localized re-match: VF2 confined to the d_Q-neighborhood of the inserted
    edges' endpoints (paper steps (2)-(3)). *)
@@ -95,6 +117,8 @@ let process_inserts t endpoints =
     t.st.rematches <- t.st.rematches + 1;
     Obs.add t.obs Obs.K.nodes_visited (Hashtbl.length ball);
     Obs.incr t.obs "rematches";
+    if Tracer.enabled t.trace then
+      List.iter (fun v -> Tracer.frontier_expand t.trace ~node:v) endpoints;
     let before = Hashtbl.length t.matches in
     Vf2.iter_matches ~allowed:(fun v -> Hashtbl.mem ball v) t.g t.p (fun m ->
         let c = Vf2.canon_of t.p m in
@@ -119,6 +143,7 @@ let delete_edge t u v =
 let apply_batch t updates =
   (* Deletions first (paper step (1)), then insertions. *)
   Obs.with_span t.obs "iso.process" (fun () ->
+      Tracer.with_span t.trace "iso.process" (fun () ->
       let inserted = ref [] in
       List.iter
         (fun up ->
@@ -141,7 +166,7 @@ let apply_batch t updates =
               end
           | Digraph.Delete _ -> ())
         updates;
-      if t.grouped then process_inserts t !inserted);
+      if t.grouped then process_inserts t !inserted));
   flush_delta t
 
 let add_node t label =
@@ -154,12 +179,13 @@ let add_node t label =
   end;
   v
 
-let init ?(grouped = true) ?(obs = Obs.noop) g p =
+let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g p =
   let t =
     {
       g;
       p;
       obs;
+      trace;
       grouped;
       dq = Pattern.diameter p;
       matches = Hashtbl.create 256;
@@ -173,6 +199,9 @@ let init ?(grouped = true) ?(obs = Obs.noop) g p =
     (fun m -> add_match t (Vf2.canon_of p m) m)
     (Vf2.find_all g p);
   Hashtbl.reset t.gained;
+  (* The initial batch match is not an update: its events (one Aff_enter
+     per pre-existing match) are not provenance, so drop them. *)
+  Tracer.clear t.trace;
   t
 
 let matches t = Hashtbl.fold (fun _ m acc -> m :: acc) t.matches []

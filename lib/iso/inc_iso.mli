@@ -30,18 +30,33 @@ type stats = {
 
 type t
 
-val init : ?grouped:bool -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Pattern.t -> t
+val init :
+  ?grouped:bool ->
+  ?obs:Ig_obs.Obs.t ->
+  ?trace:Ig_obs.Tracer.t ->
+  Ig_graph.Digraph.t ->
+  Pattern.t ->
+  t
 (** Enumerate [Q(G)] once with VF2 and index it. The session owns the graph
     afterwards. [obs] (default {!Ig_obs.Obs.noop}) receives cost counters:
     [aff] (matches created or destroyed — the measured |AFF|),
     [cert_rewrites], [nodes_visited] (d_Q-neighborhood sizes), [rematches]
-    (VF2 invocations), and [changed] = |ΔG| + |ΔO|. *)
+    (VF2 invocations), and [changed] = |ΔG| + |ΔO|. [trace] (default
+    {!Ig_obs.Tracer.noop}) receives structured events: [Aff_enter] tagged
+    [Iso_match_broken] (a match ran through a deleted edge) or
+    [Iso_ball_rematch] (a fresh match from the localized VF2 run),
+    [Cert_rewrite] on the [match] field (the mapping's image), and
+    [Frontier_expand] per inserted-edge endpoint seeding the d_Q-ball.
+    Events from the initial batch enumeration are discarded. *)
 
 val graph : t -> Ig_graph.Digraph.t
 val pattern : t -> Pattern.t
 
 val obs : t -> Ig_obs.Obs.t
 (** The metrics sink the session was created with. *)
+
+val trace : t -> Ig_obs.Tracer.t
+(** The event tracer the session was created with. *)
 
 val add_node : t -> string -> node
 (** A fresh node (matches only single-node patterns until edges arrive). *)

@@ -1,5 +1,6 @@
 module Digraph = Ig_graph.Digraph
 module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
 
 type node = Digraph.node
 
@@ -23,6 +24,7 @@ type t = {
   mutable q : Batch.query;
   grouped : bool;
   obs : Obs.t;
+  trace : Tracer.t;
   syms : Ig_graph.Interner.symbol array; (* keyword symbols, query order *)
   kd : (node, Batch.entry) Hashtbl.t array;
   mcount : (node, int) Hashtbl.t; (* node -> #keywords within bound *)
@@ -37,6 +39,7 @@ let graph t = t.g
 let query t = t.q
 let stats t = t.st
 let obs t = t.obs
+let trace t = t.trace
 
 let reset_stats t =
   t.st.affected <- 0;
@@ -106,6 +109,7 @@ let process_keyword t i ~dels ~inss =
       Hashtbl.replace affected v ();
       t.st.affected <- t.st.affected + 1;
       Obs.incr t.obs Obs.K.aff;
+      Tracer.aff_enter t.trace ~node:v ~rule:Tracer.Kws_next_on_deleted;
       Digraph.iter_pred
         (fun u ->
           match Hashtbl.find_opt kd u with
@@ -131,6 +135,7 @@ let process_keyword t i ~dels ~inss =
       remove_entry t i v;
       if !best <= b then begin
         Obs.incr t.obs Obs.K.queue_pushes;
+        Tracer.frontier_expand t.trace ~node:v;
         PQ.insert q v !best
       end)
     affected;
@@ -149,6 +154,7 @@ let process_keyword t i ~dels ~inss =
               | None -> true
             then begin
               Obs.incr t.obs Obs.K.queue_pushes;
+              Tracer.frontier_expand t.trace ~node:v;
               PQ.insert q v cand
             end
         | None -> ())
@@ -177,6 +183,21 @@ let process_keyword t i ~dels ~inss =
               | _ -> ())
             t.g v;
           assert (!next >= 0);
+          if Tracer.enabled t.trace then begin
+            (* Entries absent from [affected] are reached through an
+               insertion or an improved successor — Fig. 1's rule. *)
+            if not (Hashtbl.mem affected v) then
+              Tracer.aff_enter t.trace ~node:v ~rule:Tracer.Kws_shorter_kdist;
+            let show = function
+              | Some e ->
+                  Printf.sprintf "dist=%d next=%d" e.Batch.dist e.Batch.next
+              | None -> "absent"
+            in
+            Tracer.cert_rewrite t.trace ~node:v
+              ~field:(Printf.sprintf "kdist[%d]" i)
+              ~before:(show (Hashtbl.find_opt kd v))
+              ~after:(Printf.sprintf "dist=%d next=%d" d !next)
+          end;
           set_entry t i v { Batch.dist = d; next = !next };
           Hashtbl.replace t.rewired (v, i) ();
           t.st.settled <- t.st.settled + 1;
@@ -193,6 +214,7 @@ let process_keyword t i ~dels ~inss =
                 | None -> true
               then begin
                 Obs.incr t.obs Obs.K.queue_pushes;
+                Tracer.frontier_expand t.trace ~node:u;
                 PQ.insert q u cand
               end)
             t.g v
@@ -203,9 +225,10 @@ let process_keyword t i ~dels ~inss =
 
 let process_all t ~dels ~inss =
   Obs.with_span t.obs "kws.process" (fun () ->
-      for i = 0 to m t - 1 do
-        process_keyword t i ~dels ~inss
-      done)
+      Tracer.with_span t.trace "kws.process" (fun () ->
+          for i = 0 to m t - 1 do
+            process_keyword t i ~dels ~inss
+          done))
 
 let apply_effective t updates =
   List.filter_map
@@ -262,7 +285,7 @@ let add_node t label =
     t.syms;
   v
 
-let init ?(grouped = true) ?(obs = Obs.noop) g q =
+let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g q =
   let kd = Batch.kdist_maps g q in
   let t =
     {
@@ -270,6 +293,7 @@ let init ?(grouped = true) ?(obs = Obs.noop) g q =
       q;
       grouped;
       obs;
+      trace;
       syms =
         Array.of_list
           (List.map (Digraph.intern_label g) q.Batch.keywords);

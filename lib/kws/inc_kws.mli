@@ -40,7 +40,12 @@ type stats = { mutable affected : int; mutable settled : int }
 type t
 
 val init :
-  ?grouped:bool -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Batch.query -> t
+  ?grouped:bool ->
+  ?obs:Ig_obs.Obs.t ->
+  ?trace:Ig_obs.Tracer.t ->
+  Ig_graph.Digraph.t ->
+  Batch.query ->
+  t
 (** Compute the kdist lists once with the batch algorithm and keep them.
     [grouped] (default [true]) is the paper's IncKWS; [false] processes
     batch updates one unit at a time (IncKWSn). [obs] (default
@@ -48,13 +53,21 @@ val init :
     entries invalidated), [cert_rewrites] (entries re-settled),
     [nodes_visited], [edges_relaxed], [queue_pushes], and the
     [changed]/[changed_input]/[changed_output] accounting of |ΔG| + |ΔO|.
-    The session owns the graph afterwards. *)
+    [trace] (default {!Ig_obs.Tracer.noop}) receives typed provenance
+    events at the same sites: [Aff_enter] tagged [Kws_next_on_deleted]
+    (Fig. 3 lines 1-6) or [Kws_shorter_kdist] (Fig. 1), [Cert_rewrite] per
+    re-settled [kdist[i]] entry with before/after values, and
+    [Frontier_expand] per queue push. The session owns the graph
+    afterwards. *)
 
 val graph : t -> Ig_graph.Digraph.t
 val query : t -> Batch.query
 
 val obs : t -> Ig_obs.Obs.t
 (** The metrics sink the session was created with. *)
+
+val trace : t -> Ig_obs.Tracer.t
+(** The event tracer the session was created with. *)
 
 val add_node : t -> string -> node
 (** A fresh node; it immediately matches any keyword equal to its label. *)

@@ -135,6 +135,9 @@ let timer t name =
 
 let span_depth = function Noop -> 0 | Reg r -> List.length r.span_stack
 
+(* Names of the currently open spans, innermost first. *)
+let open_spans = function Noop -> [] | Reg r -> List.map fst r.span_stack
+
 let span_begin t name =
   match t with
   | Noop -> ()
@@ -160,7 +163,9 @@ let span_end t name =
       | (top, _) :: _ ->
           invalid_arg
             (Printf.sprintf "Obs.span_end: %s closed while %s is open" name top)
-      | [] -> invalid_arg "Obs.span_end: no open span")
+      | [] ->
+          invalid_arg
+            (Printf.sprintf "Obs.span_end: %s closed but no span is open" name))
 
 let with_span t name f =
   match t with

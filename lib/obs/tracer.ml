@@ -1,0 +1,203 @@
+(* Structured event tracing with AFF provenance.
+
+   Where the Obs registry answers "how much work did an engine do" (|AFF|,
+   cert_rewrites, queue_pushes), the tracer answers "why": every node that
+   enters AFF is stamped with the *rule* of the paper's pseudocode that put
+   it there (which line of Figures 1/3/5/7 fired), every certificate
+   rewrite records the field and its before/after values, and frontier
+   expansions record the propagation order. Events land in a bounded ring
+   buffer: when it wraps, the oldest events are dropped and counted, so
+   tracing a long soak costs O(capacity) memory and the tail — the part
+   that explains a failure — is always retained.
+
+   Mirroring [Obs.t], the [Noop] constructor makes a disabled tracer cost
+   one branch per probe; engines take [?trace] at [init] exactly like
+   [?obs]. Sequence numbers are a logical clock (no wall-clock reads), so
+   a trace of a seeded run is bit-for-bit deterministic. *)
+
+(* Which case of the paper's algorithms put a node into AFF. *)
+type rule =
+  | Kws_next_on_deleted
+      (* IncKWS− (Fig. 3 lines 1-6): the node's chosen next-pointer path
+         ran through a deleted edge. *)
+  | Kws_shorter_kdist
+      (* IncKWS+ (Fig. 1): an insertion (or a re-settled successor) offers
+         a strictly shorter keyword distance. *)
+  | Rpq_support_lost
+      (* IncRPQ identAff: a product-graph marking lost its last
+         distance-(d-1) predecessor. *)
+  | Rpq_dist_decrease
+      (* IncRPQ settle: a product-graph key gained a marking (or a shorter
+         one) through an inserted edge. *)
+  | Scc_local_tarjan
+      (* IncSCC−: member of a component re-certified by a local Tarjan
+         run (possible split). *)
+  | Scc_rank_swap
+      (* IncSCC+ (Fig. 7 lines 4-9): component inside the affected rank
+         region of an order-violating insertion. *)
+  | Sim_support_zero
+      (* IncSim cascade: a match pair's support counter hit zero. *)
+  | Sim_revalidated
+      (* IncSim insertion: a candidate pair re-entered the greatest
+         simulation after revalidation. *)
+  | Iso_match_broken
+      (* IncISO step (1): a match subgraph used a deleted edge. *)
+  | Iso_ball_rematch
+      (* IncISO steps (2)-(3): a fresh match found by the localized VF2
+         run over the d_Q-ball of the inserted edges. *)
+
+let rule_name = function
+  | Kws_next_on_deleted -> "Kws_next_on_deleted"
+  | Kws_shorter_kdist -> "Kws_shorter_kdist"
+  | Rpq_support_lost -> "Rpq_support_lost"
+  | Rpq_dist_decrease -> "Rpq_dist_decrease"
+  | Scc_local_tarjan -> "Scc_local_tarjan"
+  | Scc_rank_swap -> "Scc_rank_swap"
+  | Sim_support_zero -> "Sim_support_zero"
+  | Sim_revalidated -> "Sim_revalidated"
+  | Iso_match_broken -> "Iso_match_broken"
+  | Iso_ball_rematch -> "Iso_ball_rematch"
+
+let all_rules =
+  [
+    Kws_next_on_deleted;
+    Kws_shorter_kdist;
+    Rpq_support_lost;
+    Rpq_dist_decrease;
+    Scc_local_tarjan;
+    Scc_rank_swap;
+    Sim_support_zero;
+    Sim_revalidated;
+    Iso_match_broken;
+    Iso_ball_rematch;
+  ]
+
+type event =
+  | Aff_enter of { node : int; rule : rule }
+      (* [node] enters AFF because [rule] fired. For SCC rank events the
+         "node" is a component id (the unit the rank order lives on). *)
+  | Cert_rewrite of { node : int; field : string; before : string; after : string }
+  | Frontier_expand of { node : int }
+      (* [node] enqueued for (re)settling — one event per queue push. *)
+  | Span_begin of string
+  | Span_end of string
+
+type entry = { seq : int; event : event }
+
+type buf = {
+  cap : int;
+  ring : entry array;
+  mutable len : int;   (* live entries, <= cap *)
+  mutable head : int;  (* next write position *)
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+type t = Noop | Buf of buf
+
+let noop = Noop
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  Buf
+    {
+      cap = capacity;
+      ring = Array.make capacity { seq = 0; event = Span_begin "" };
+      len = 0;
+      head = 0;
+      next_seq = 0;
+      dropped = 0;
+    }
+
+let enabled = function Noop -> false | Buf _ -> true
+let capacity = function Noop -> 0 | Buf b -> b.cap
+let length = function Noop -> 0 | Buf b -> b.len
+let dropped = function Noop -> 0 | Buf b -> b.dropped
+
+let push b event =
+  b.ring.(b.head) <- { seq = b.next_seq; event };
+  b.next_seq <- b.next_seq + 1;
+  b.head <- (b.head + 1) mod b.cap;
+  if b.len < b.cap then b.len <- b.len + 1 else b.dropped <- b.dropped + 1
+
+let emit t event = match t with Noop -> () | Buf b -> push b event
+
+let aff_enter t ~node ~rule =
+  match t with Noop -> () | Buf b -> push b (Aff_enter { node; rule })
+
+let cert_rewrite t ~node ~field ~before ~after =
+  match t with
+  | Noop -> ()
+  | Buf b -> push b (Cert_rewrite { node; field; before; after })
+
+let frontier_expand t ~node =
+  match t with Noop -> () | Buf b -> push b (Frontier_expand { node })
+
+let span_begin t name =
+  match t with Noop -> () | Buf b -> push b (Span_begin name)
+
+let span_end t name =
+  match t with Noop -> () | Buf b -> push b (Span_end name)
+
+let with_span t name f =
+  match t with
+  | Noop -> f ()
+  | Buf _ ->
+      span_begin t name;
+      Fun.protect ~finally:(fun () -> span_end t name) f
+
+(* Forget buffered events (the logical clock keeps running, so snapshots
+   taken across a clear still order globally). Used to scope a trace to
+   one update: clear, apply, snapshot. *)
+let clear = function
+  | Noop -> ()
+  | Buf b ->
+      b.len <- 0;
+      b.head <- 0;
+      b.dropped <- 0
+
+(* ---- snapshots ----------------------------------------------------------- *)
+
+type snapshot = { entries : entry list; (* oldest first *) drops : int }
+
+let empty_snapshot = { entries = []; drops = 0 }
+
+let snapshot = function
+  | Noop -> empty_snapshot
+  | Buf b ->
+      let start = (b.head - b.len + (2 * b.cap)) mod b.cap in
+      let acc = ref [] in
+      for i = b.len - 1 downto 0 do
+        acc := b.ring.((start + i) mod b.cap) :: !acc
+      done;
+      { entries = !acc; drops = b.dropped }
+
+let events t = (snapshot t).entries
+
+(* Per-rule counts of the Aff_enter events, sorted by rule name: the
+   provenance histogram [incgraph explain] prints per update. *)
+let rule_histogram snap =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e.event with
+      | Aff_enter { rule; _ } ->
+          let k = rule_name rule in
+          Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      | _ -> ())
+    snap.entries;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Per-field counts of certificate rewrites. *)
+let field_histogram snap =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e.event with
+      | Cert_rewrite { field; _ } ->
+          Hashtbl.replace tbl field
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl field))
+      | _ -> ())
+    snap.entries;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

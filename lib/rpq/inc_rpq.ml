@@ -1,6 +1,7 @@
 module Digraph = Ig_graph.Digraph
 module Nfa = Ig_nfa.Nfa
 module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
 
 type node = Digraph.node
 type key = Pgraph.key
@@ -28,6 +29,7 @@ type t = {
   p : Pgraph.t;
   grouped : bool;
   obs : Obs.t;
+  trace : Tracer.t;
   srcs : (node, source_state) Hashtbl.t;
   at_node : (node, (node, int) Hashtbl.t) Hashtbl.t;
       (* v -> sources holding an entry at v (with entry counts): the paper
@@ -43,6 +45,7 @@ type t = {
 let graph t = Pgraph.graph t.p
 let stats t = t.st
 let obs t = t.obs
+let trace t = t.trace
 
 let reset_stats t =
   t.st.affected <- 0;
@@ -149,6 +152,8 @@ let process_source t u ss ~dels ~inss =
         Hashtbl.replace affected k ();
         t.st.affected <- t.st.affected + 1;
         Obs.incr t.obs Obs.K.aff;
+        Tracer.aff_enter t.trace ~node:(Pgraph.node_of p k)
+          ~rule:Tracer.Rpq_support_lost;
         (* Successors may have lost their support through [k]. *)
         Pgraph.iter_succ p k (fun k'' ->
             if Hashtbl.mem ss.marks k'' then Stack.push k'' stack)
@@ -170,6 +175,7 @@ let process_source t u ss ~dels ~inss =
       remove_entry t u ss k;
       if !best < max_int then begin
         Obs.incr t.obs Obs.K.queue_pushes;
+        Tracer.frontier_expand t.trace ~node:(Pgraph.node_of p k);
         PQ.insert q k !best
       end)
     affected;
@@ -188,6 +194,7 @@ let process_source t u ss ~dels ~inss =
                 | Some d when d <= cand -> ()
                 | _ ->
                     Obs.incr t.obs Obs.K.queue_pushes;
+                    Tracer.frontier_expand t.trace ~node:w;
                     PQ.insert q kw cand)
               (Pgraph.succ_keys_of_edge p s w)
       done)
@@ -205,16 +212,35 @@ let process_source t u ss ~dels ~inss =
               | Some d'' when d'' <= d + 1 -> ()
               | _ ->
                   Obs.incr t.obs Obs.K.queue_pushes;
+                  Tracer.frontier_expand t.trace ~node:(Pgraph.node_of p k');
                   PQ.insert q k' (d + 1))
         in
         (match Hashtbl.find_opt ss.marks k with
         | Some d' when d' <= d -> () (* stale queue entry *)
-        | Some _ ->
+        | Some d' ->
+            if Tracer.enabled t.trace then
+              Tracer.cert_rewrite t.trace ~node:(Pgraph.node_of p k)
+                ~field:(Printf.sprintf "pmark(src=%d,state=%d)" u
+                          (Pgraph.state_of p k))
+                ~before:(Printf.sprintf "dist=%d" d')
+                ~after:(Printf.sprintf "dist=%d" d);
             Hashtbl.replace ss.marks k d;
             t.st.settled <- t.st.settled + 1;
             Obs.incr t.obs Obs.K.cert_rewrites;
             relax ()
         | None ->
+            if Tracer.enabled t.trace then begin
+              (* A marking born outside AFF: an inserted edge extended the
+                 reach of source [u] — the distance-decrease rule. *)
+              if not (Hashtbl.mem affected k) then
+                Tracer.aff_enter t.trace ~node:(Pgraph.node_of p k)
+                  ~rule:Tracer.Rpq_dist_decrease;
+              Tracer.cert_rewrite t.trace ~node:(Pgraph.node_of p k)
+                ~field:(Printf.sprintf "pmark(src=%d,state=%d)" u
+                          (Pgraph.state_of p k))
+                ~before:"absent"
+                ~after:(Printf.sprintf "dist=%d" d)
+            end;
             add_entry t u ss k d;
             t.st.settled <- t.st.settled + 1;
             Obs.incr t.obs Obs.K.cert_rewrites;
@@ -230,6 +256,7 @@ let process_source t u ss ~dels ~inss =
    batch costs Σ_u |ΔG restricted to u's reach|, not |sources| × |ΔG|. *)
 let process_all t ~dels ~inss =
   Obs.with_span t.obs "rpq.process" @@ fun () ->
+  Tracer.with_span t.trace "rpq.process" @@ fun () ->
   let per_source = Hashtbl.create 16 in
   let note side (v, w) =
     match Hashtbl.find_opt t.at_node v with
@@ -319,13 +346,14 @@ let add_node t label =
   end;
   u
 
-let init ?(grouped = true) ?(obs = Obs.noop) g a =
+let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g a =
   let p = Pgraph.make g a in
   let t =
     {
       p;
       grouped;
       obs;
+      trace;
       srcs = Hashtbl.create 64;
       at_node = Hashtbl.create 256;
       gained = Hashtbl.create 64;
@@ -342,8 +370,8 @@ let init ?(grouped = true) ?(obs = Obs.noop) g a =
   Hashtbl.reset t.gained;
   t
 
-let create ?grouped ?obs g q =
-  init ?grouped ?obs g (Nfa.compile (Digraph.interner g) q)
+let create ?grouped ?obs ?trace g q =
+  init ?grouped ?obs ?trace g (Nfa.compile (Digraph.interner g) q)
 
 let matches t =
   Hashtbl.fold

@@ -47,7 +47,12 @@ type stats = {
 type t
 
 val init :
-  ?grouped:bool -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Ig_nfa.Nfa.t -> t
+  ?grouped:bool ->
+  ?obs:Ig_obs.Obs.t ->
+  ?trace:Ig_obs.Tracer.t ->
+  Ig_graph.Digraph.t ->
+  Ig_nfa.Nfa.t ->
+  t
 (** Run the batch algorithm once and keep its markings. [grouped] (default
     [true]) processes batches with one combined fix-up phase per source —
     the paper's IncRPQ; [false] degrades {!apply_batch} to unit-at-a-time
@@ -55,17 +60,29 @@ val init :
     {!Ig_obs.Obs.noop}) receives cost counters: [aff] (product-graph
     markings invalidated — the measured |AFF|), [cert_rewrites] (markings
     re-settled), [nodes_visited], [edges_relaxed], [queue_pushes], and
-    [changed] = |ΔG| + |ΔO|. The graph is owned by the session
-    afterwards. *)
+    [changed] = |ΔG| + |ΔO|. [trace] (default {!Ig_obs.Tracer.noop})
+    receives structured events: [Aff_enter] tagged [Rpq_support_lost]
+    (a marking lost its last shorter-distance predecessor) or
+    [Rpq_dist_decrease] (an inserted edge created a marking),
+    [Cert_rewrite] on the [pmark] field, and [Frontier_expand] per queue
+    push. The graph is owned by the session afterwards. *)
 
 val create :
-  ?grouped:bool -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Ig_nfa.Regex.t -> t
+  ?grouped:bool ->
+  ?obs:Ig_obs.Obs.t ->
+  ?trace:Ig_obs.Tracer.t ->
+  Ig_graph.Digraph.t ->
+  Ig_nfa.Regex.t ->
+  t
 (** Compile the regex against the graph's interner, then {!init}. *)
 
 val graph : t -> Ig_graph.Digraph.t
 
 val obs : t -> Ig_obs.Obs.t
 (** The metrics sink the session was created with. *)
+
+val trace : t -> Ig_obs.Tracer.t
+(** The event tracer the session was created with. *)
 
 val add_node : t -> string -> node
 (** Add a fresh node; it becomes a new source if its label can start a

@@ -2,6 +2,7 @@ module Digraph = Ig_graph.Digraph
 module Rank = Ig_graph.Rank
 module Vec = Ig_graph.Vec
 module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
 
 type node = Digraph.node
 type comp = int
@@ -45,6 +46,7 @@ type t = {
   g : Digraph.t;
   cfg : config;
   obs : Obs.t;
+  trace : Tracer.t;
   certs : Tarjan.cert Vec.t; (* per node *)
   comp_of : comp Vec.t;      (* per node *)
   members : (comp, members) Hashtbl.t;
@@ -66,6 +68,7 @@ let graph t = t.g
 let config t = t.cfg
 let stats t = t.st
 let obs t = t.obs
+let trace t = t.trace
 
 let reset_stats t =
   t.st.cert_nodes <- 0;
@@ -166,10 +169,21 @@ let local_tarjan t c =
   Obs.add t.obs Obs.K.aff n;
   Obs.add t.obs Obs.K.cert_rewrites n;
   Obs.add t.obs Obs.K.nodes_visited n;
-  Tarjan.run_with_cert t.g
-    ~restrict:(fun v -> comp_of t v = c)
-    ~nodes:ms
-    ~cert:(cert t)
+  if Tracer.enabled t.trace then
+    List.iter
+      (fun v -> Tracer.aff_enter t.trace ~node:v ~rule:Tracer.Scc_local_tarjan)
+      ms;
+  let groups =
+    Tarjan.run_with_cert t.g
+      ~restrict:(fun v -> comp_of t v = c)
+      ~nodes:ms
+      ~cert:(cert t)
+  in
+  if Tracer.enabled t.trace then
+    Tracer.cert_rewrite t.trace ~node:c ~field:"certificate"
+      ~before:(Printf.sprintf "comp=%d size=%d" c n)
+      ~after:(Printf.sprintf "parts=%d" (List.length groups));
+  groups
 
 let refresh_cert t c =
   match local_tarjan t c with
@@ -313,6 +327,8 @@ let cclosure t ~dir ~keep start =
         if (not (Hashtbl.mem seen d)) && keep d then begin
           Hashtbl.replace seen d ();
           Obs.incr t.obs Obs.K.queue_pushes;
+          (* "node" here is a component id — the unit ranks live on. *)
+          Tracer.frontier_expand t.trace ~node:d;
           Stack.push d stack
         end)
       (adj tbl c)
@@ -356,13 +372,31 @@ let resolve_violation t cu cv =
   Obs.add t.obs Obs.K.aff region_size;
   Obs.add t.obs "rank_moves" region_size;
   Obs.incr t.obs "violations";
+  if Tracer.enabled t.trace then begin
+    Hashtbl.iter
+      (fun c () -> Tracer.aff_enter t.trace ~node:c ~rule:Tracer.Scc_rank_swap)
+      affr;
+    Hashtbl.iter
+      (fun c () ->
+        if not (Hashtbl.mem affr c) then
+          Tracer.aff_enter t.trace ~node:c ~rule:Tracer.Scc_rank_swap)
+      affl
+  end;
   let direct_back_edge = Hashtbl.mem (adj t.csucc cv) cu in
   if inter = [] && not direct_back_edge then begin
+    if Tracer.enabled t.trace then
+      Tracer.cert_rewrite t.trace ~node:cu ~field:"rank"
+        ~before:(Printf.sprintf "r(cu)=%d r(cv)=%d" r_cu r_cv)
+        ~after:(Printf.sprintf "reallocated region=%d" region_size);
     (* No cycle: pure reallocation. *)
     let order = by_old_rank (elements affr) @ by_old_rank (elements affl) in
     Rank.reassign t.rank order
   end
   else begin
+    if Tracer.enabled t.trace then
+      Tracer.cert_rewrite t.trace ~node:cu ~field:"rank"
+        ~before:(Printf.sprintf "r(cu)=%d r(cv)=%d" r_cu r_cv)
+        ~after:(Printf.sprintf "cycle-merged region=%d" region_size);
     let merge_set = Hashtbl.create 8 in
     List.iter (fun c -> Hashtbl.replace merge_set c ()) (cu :: cv :: inter);
     let to_merge = Hashtbl.fold (fun c () acc -> c :: acc) merge_set [] in
@@ -537,13 +571,14 @@ let apply_batch_grouped t updates =
 
 let apply_batch t updates =
   Obs.with_span t.obs "scc.process" (fun () ->
-      if t.cfg.group_batch then apply_batch_grouped t updates
-      else List.iter (apply_unit t) updates);
+      Tracer.with_span t.trace "scc.process" (fun () ->
+          if t.cfg.group_batch then apply_batch_grouped t updates
+          else List.iter (apply_unit t) updates));
   flush_delta t
 
 (* ---- Construction and queries ----------------------------------------- *)
 
-let init ?(config = inc_config) ?(obs = Obs.noop) g =
+let init ?(config = inc_config) ?(obs = Obs.noop) ?(trace = Tracer.noop) g =
   let n = Digraph.n_nodes g in
   let certs = Vec.create () in
   for _ = 1 to n do
@@ -555,6 +590,7 @@ let init ?(config = inc_config) ?(obs = Obs.noop) g =
       g;
       cfg = config;
       obs;
+      trace;
       certs;
       comp_of = comp_vec;
       members = Hashtbl.create 64;

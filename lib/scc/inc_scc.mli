@@ -80,14 +80,24 @@ type stats = {
 
 type t
 
-val init : ?config:config -> ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> t
+val init :
+  ?config:config ->
+  ?obs:Ig_obs.Obs.t ->
+  ?trace:Ig_obs.Tracer.t ->
+  Ig_graph.Digraph.t ->
+  t
 (** Run Tarjan once and set up all auxiliary structures. The graph is owned
     by the engine afterwards: apply updates only through it. [obs] (default
     {!Ig_obs.Obs.noop}) receives cost counters: [aff] (nodes re-certified
     plus rank-region size — the measured |AFF|), [cert_rewrites],
     [nodes_visited], [edges_relaxed] and [queue_pushes] (affected-region
     closures over the contracted graph), [rank_moves], [violations],
-    [fast_deletes], and [changed] = |ΔG| + |ΔO|. *)
+    [fast_deletes], and [changed] = |ΔG| + |ΔO|. [trace] (default
+    {!Ig_obs.Tracer.noop}) receives structured events: [Aff_enter] tagged
+    [Scc_local_tarjan] (node re-certified by a local Tarjan run; node ids)
+    or [Scc_rank_swap] (component inside the affected rank region;
+    component ids), [Cert_rewrite] on the [certificate] and [rank] fields,
+    and [Frontier_expand] per contracted-closure push (component ids). *)
 
 val graph : t -> Ig_graph.Digraph.t
 
@@ -95,6 +105,9 @@ val config : t -> config
 
 val obs : t -> Ig_obs.Obs.t
 (** The metrics sink the engine was created with. *)
+
+val trace : t -> Ig_obs.Tracer.t
+(** The event tracer the engine was created with. *)
 
 val add_node : t -> string -> node
 (** Add a fresh labeled node (a new singleton component). *)

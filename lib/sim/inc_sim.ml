@@ -1,6 +1,7 @@
 module Digraph = Ig_graph.Digraph
 module Pattern = Ig_iso.Pattern
 module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
 
 type node = Digraph.node
 
@@ -10,6 +11,7 @@ type t = {
   g : Digraph.t;
   p : Pattern.t;
   obs : Obs.t;
+  trace : Tracer.t;
   r : Sim.relation;
   cnt : (node, int) Hashtbl.t array; (* per pattern edge id, for v ∈ r.(u) *)
   out_edges : (int * int) list array;
@@ -22,6 +24,7 @@ type t = {
 let graph t = t.g
 let pattern t = t.p
 let obs t = t.obs
+let trace t = t.trace
 let relation t = t.r
 let mem t u v = Sim.mem t.r u v
 let n_pairs t = t.n_pairs
@@ -59,6 +62,12 @@ let cascade t doomed =
       note_lose t u v;
       Obs.incr t.obs Obs.K.aff;
       Obs.incr t.obs Obs.K.cert_rewrites;
+      if Tracer.enabled t.trace then begin
+        Tracer.aff_enter t.trace ~node:v ~rule:Tracer.Sim_support_zero;
+        Tracer.cert_rewrite t.trace ~node:v
+          ~field:(Printf.sprintf "sim(%d)" u)
+          ~before:"member" ~after:"removed"
+      end;
       List.iter
         (fun (e, tp) ->
           Digraph.iter_pred
@@ -70,6 +79,7 @@ let cascade t doomed =
                     Hashtbl.replace t.cnt.(e) pnode (c - 1);
                     if c - 1 = 0 then begin
                       Obs.incr t.obs Obs.K.queue_pushes;
+                      Tracer.frontier_expand t.trace ~node:pnode;
                       Stack.push (tp, pnode) stack
                     end
                 | None -> ()
@@ -147,6 +157,12 @@ let insert_edge t a b =
               note_gain t u v;
               Obs.incr t.obs Obs.K.aff;
               Obs.incr t.obs Obs.K.cert_rewrites;
+              if Tracer.enabled t.trace then begin
+                Tracer.aff_enter t.trace ~node:v ~rule:Tracer.Sim_revalidated;
+                Tracer.cert_rewrite t.trace ~node:v
+                  ~field:(Printf.sprintf "sim(%d)" u)
+                  ~before:"absent" ~after:"member"
+              end;
               additions := (u, v) :: !additions
             end)
           set)
@@ -182,15 +198,16 @@ let insert_edge t a b =
 
 let apply_batch t updates =
   Obs.with_span t.obs "sim.process" (fun () ->
-      List.iter
+      Tracer.with_span t.trace "sim.process" (fun () ->
+          List.iter
         (fun up ->
           match up with
           | Digraph.Insert (u, v) -> insert_edge t u v
           | Digraph.Delete (u, v) -> delete_edge t u v)
-        updates);
+            updates));
   flush_delta t
 
-let init ?(obs = Obs.noop) g p =
+let init ?(obs = Obs.noop) ?(trace = Tracer.noop) g p =
   let r = Sim.run p g in
   let out_edges, in_edges = Sim.edge_index p in
   let cnt =
@@ -201,6 +218,7 @@ let init ?(obs = Obs.noop) g p =
       g;
       p;
       obs;
+      trace;
       r;
       cnt;
       out_edges;

@@ -24,18 +24,31 @@ type delta = {
 
 type t
 
-val init : ?obs:Ig_obs.Obs.t -> Ig_graph.Digraph.t -> Ig_iso.Pattern.t -> t
+val init :
+  ?obs:Ig_obs.Obs.t ->
+  ?trace:Ig_obs.Tracer.t ->
+  Ig_graph.Digraph.t ->
+  Ig_iso.Pattern.t ->
+  t
 (** Runs the batch fixpoint once; the session owns the graph. [obs]
     (default {!Ig_obs.Obs.noop}) receives cost counters: [aff] (relation
     pairs gained or lost — the measured |AFF|), [cert_rewrites],
     [nodes_visited] (cascade pops + revalidation closure), [edges_relaxed]
-    (support rescans), [queue_pushes], and [changed] = |ΔG| + |ΔO|. *)
+    (support rescans), [queue_pushes], and [changed] = |ΔG| + |ΔO|.
+    [trace] (default {!Ig_obs.Tracer.noop}) receives structured events:
+    [Aff_enter] tagged [Sim_support_zero] (a pair's support counter hit
+    zero in the cascade) or [Sim_revalidated] (a pair re-entered the
+    greatest simulation), [Cert_rewrite] on the per-pattern-node [sim(u)]
+    membership field, and [Frontier_expand] per cascade push. *)
 
 val graph : t -> Ig_graph.Digraph.t
 val pattern : t -> Ig_iso.Pattern.t
 
 val obs : t -> Ig_obs.Obs.t
 (** The metrics sink the session was created with. *)
+
+val trace : t -> Ig_obs.Tracer.t
+(** The event tracer the session was created with. *)
 
 val insert_edge : t -> node -> node -> unit
 val delete_edge : t -> node -> node -> unit

@@ -153,7 +153,10 @@ module Buggy_scc = struct
   type query = unit
 
   let name = "buggy-scc"
-  let init g () = { eng = I.init (Digraph.copy g); truth = g }
+
+  let init g () =
+    { eng = I.init ~trace:(Ig_obs.Tracer.create ()) (Digraph.copy g);
+      truth = g }
   let graph t = t.truth
 
   let apply t u =
@@ -167,6 +170,7 @@ module Buggy_scc = struct
   let recompute t = A.canon_comps (Ig_scc.Tarjan.scc t.truth)
   let check_invariants t = I.check_invariants t.eng
   let obs t = I.obs t.eng
+  let trace t = I.trace t.eng
 end
 
 let test_mutation_buggy_engine_shrinks () =
@@ -188,6 +192,15 @@ let test_mutation_buggy_engine_shrinks () =
         (List.length f.H.shrunk <= 10);
       check Alcotest.bool "reproducer replays to a failure" true
         (H.replay_fails ~make f.H.shrunk);
+      (* The failure arrives with the failing step's event log attached.
+         For this planted bug the log is empty — the engine dropped the
+         update on the floor — and that silence is exactly the diagnosis
+         the trace is meant to surface. *)
+      (match f.H.trace with
+      | None -> Alcotest.fail "no trace attached to the reproducer"
+      | Some snap ->
+          check Alcotest.bool "dropped update leaves an empty event log" true
+            (snap.Ig_obs.Tracer.entries = []));
       (* 1-minimality: removing any single update loses the failure. *)
       List.iteri
         (fun i _ ->

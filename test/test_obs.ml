@@ -1,11 +1,16 @@
-(* Tests for the cost-accounting observability layer (lib/obs): registry
-   semantics first, then one smoke test per incremental engine checking
-   that the probes report the right shape of |AFF| — nonzero for an update
-   that touches the query's certificate, zero for an update in a part of
-   the graph the query cannot see. *)
+(* Tests for the observability layer (lib/obs): registry semantics first,
+   then one smoke test per incremental engine checking that the probes
+   report the right shape of |AFF| — nonzero for an update that touches
+   the query's certificate, zero for an update in a part of the graph the
+   query cannot see — and finally the structured tracer: ring-buffer
+   semantics, the JSON escaper it leans on, Chrome export validity, and
+   that a Noop tracer leaves traced runs bit-identical to untraced ones. *)
 
 open Ig_graph
 module O = Ig_obs.Obs
+module T = Ig_obs.Tracer
+module TE = Ig_obs.Trace_export
+module J = Ig_obs.Json
 
 let check = Alcotest.check
 
@@ -97,8 +102,23 @@ let test_span_mismatch_rejected () =
       O.span_end o "b");
   O.span_end o "a";
   Alcotest.check_raises "nothing open"
-    (Invalid_argument "Obs.span_end: no open span") (fun () ->
+    (Invalid_argument "Obs.span_end: a closed but no span is open") (fun () ->
       O.span_end o "a")
+
+let test_open_spans () =
+  let o = O.create () in
+  check Alcotest.(list string) "empty" [] (O.open_spans o);
+  O.span_begin o "outer";
+  O.span_begin o "inner";
+  check
+    Alcotest.(list string)
+    "innermost first"
+    [ "inner"; "outer" ]
+    (O.open_spans o);
+  O.span_end o "inner";
+  O.span_end o "outer";
+  check Alcotest.(list string) "empty again" [] (O.open_spans o);
+  check Alcotest.(list string) "noop has none" [] (O.open_spans O.noop)
 
 let test_span_exception_safe () =
   let o = O.create () in
@@ -254,6 +274,232 @@ let test_iso_aff () =
   check Alcotest.bool "match edge delete: aff > 0" true (aff o > 0);
   Ig_iso.Inc_iso.check_invariants t
 
+(* ---- tracer: ring buffer semantics ---------------------------------------- *)
+
+let entry_testable =
+  Alcotest.testable
+    (fun ppf e -> TE.pp_event ppf e)
+    (fun (a : T.entry) b -> a = b)
+
+let test_tracer_ring_wrap () =
+  let tr = T.create ~capacity:4 () in
+  check Alcotest.bool "enabled" true (T.enabled tr);
+  check Alcotest.int "capacity" 4 (T.capacity tr);
+  for i = 0 to 5 do
+    T.frontier_expand tr ~node:i
+  done;
+  check Alcotest.int "length capped" 4 (T.length tr);
+  check Alcotest.int "two dropped" 2 (T.dropped tr);
+  let snap = T.snapshot tr in
+  check Alcotest.int "snapshot drops" 2 snap.T.drops;
+  check
+    Alcotest.(list entry_testable)
+    "oldest dropped, rest in order"
+    [
+      { T.seq = 2; event = T.Frontier_expand { node = 2 } };
+      { T.seq = 3; event = T.Frontier_expand { node = 3 } };
+      { T.seq = 4; event = T.Frontier_expand { node = 4 } };
+      { T.seq = 5; event = T.Frontier_expand { node = 5 } };
+    ]
+    snap.T.entries;
+  T.clear tr;
+  check Alcotest.int "clear empties" 0 (T.length tr);
+  check Alcotest.int "clear resets drops" 0 (T.dropped tr);
+  T.span_begin tr "s";
+  (* The logical clock keeps running across a clear. *)
+  check
+    Alcotest.(list entry_testable)
+    "seq survives clear"
+    [ { T.seq = 6; event = T.Span_begin "s" } ]
+    (T.snapshot tr).T.entries;
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Tracer.create: capacity must be positive") (fun () ->
+      ignore (T.create ~capacity:0 ()))
+
+let test_tracer_noop () =
+  let tr = T.noop in
+  check Alcotest.bool "disabled" false (T.enabled tr);
+  T.aff_enter tr ~node:0 ~rule:T.Kws_shorter_kdist;
+  T.cert_rewrite tr ~node:0 ~field:"f" ~before:"a" ~after:"b";
+  T.frontier_expand tr ~node:1;
+  T.span_begin tr "s";
+  T.span_end tr "s";
+  let r = T.with_span tr "w" (fun () -> 7) in
+  check Alcotest.int "with_span passes through" 7 r;
+  check Alcotest.int "nothing recorded" 0 (T.length tr);
+  check Alcotest.bool "snapshot empty" true
+    ((T.snapshot tr).T.entries = [] && (T.snapshot tr).T.drops = 0)
+
+(* A Noop tracer leaves engine outputs and Obs counters bit-identical to a
+   traced run: drive two identical SCC engines (one traced, one not)
+   through the same updates and compare answers and counter snapshots. *)
+let test_noop_tracer_identical_run () =
+  let mk () = labeled_graph [ "x"; "x"; "x"; "x" ] [ (0, 1); (1, 2); (2, 3) ] in
+  let updates =
+    [
+      Digraph.Insert (3, 0);
+      Digraph.Delete (1, 2);
+      Digraph.Insert (2, 1);
+      Digraph.Insert (1, 2);
+    ]
+  in
+  let run trace =
+    let o = O.create () in
+    let t = Ig_scc.Inc_scc.init ~obs:o ~trace (mk ()) in
+    let deltas =
+      List.map (fun u -> Ig_scc.Inc_scc.apply_batch t [ u ]) updates
+    in
+    let comps =
+      List.sort compare
+        (List.map (List.sort compare) (Ig_scc.Inc_scc.components t))
+    in
+    (comps, List.length deltas, O.counters o)
+  in
+  let traced = run (T.create ()) and untraced = run T.noop in
+  check Alcotest.bool "components identical" true
+    (let c, _, _ = traced and c', _, _ = untraced in
+     c = c');
+  check
+    Alcotest.(list (pair string int))
+    "Obs counters identical"
+    (let _, _, c = untraced in
+     c)
+    (let _, _, c = traced in
+     c)
+
+(* ---- tracer: engine events, export, explain -------------------------------- *)
+
+(* A traced KWS run: every Aff_enter carries a rule tag, the Chrome export
+   passes the validator, and the explain rendering names the rule. *)
+let traced_kws_snapshot () =
+  let g = labeled_graph [ "a"; "b"; "d" ] [ (1, 0); (1, 2) ] in
+  let q = { Ig_kws.Batch.keywords = [ "a"; "d" ]; bound = 2 } in
+  let tr = T.create () in
+  let t = Ig_kws.Inc_kws.init ~trace:tr g q in
+  ignore (Ig_kws.Inc_kws.apply_batch t [ Digraph.Delete (1, 2) ]);
+  T.snapshot tr
+
+let test_engine_trace_events () =
+  let snap = traced_kws_snapshot () in
+  check Alcotest.bool "events recorded" true (snap.T.entries <> []);
+  let affs =
+    List.filter_map
+      (fun (e : T.entry) ->
+        match e.T.event with T.Aff_enter { rule; _ } -> Some rule | _ -> None)
+      snap.T.entries
+  in
+  check Alcotest.bool "AFF entries recorded" true (affs <> []);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "rule tag is a known rule" true
+        (List.mem r T.all_rules))
+    affs;
+  check Alcotest.bool "histogram nonempty" true (T.rule_histogram snap <> []);
+  let spans =
+    List.filter
+      (fun (e : T.entry) ->
+        match e.T.event with
+        | T.Span_begin _ | T.Span_end _ -> true
+        | _ -> false)
+      snap.T.entries
+  in
+  check Alcotest.int "one span pair" 2 (List.length spans)
+
+let test_chrome_export_validates () =
+  let snap = traced_kws_snapshot () in
+  let json = TE.to_chrome ~name:"IncKWS" snap in
+  (match TE.validate json with
+  | Ok n ->
+      (* process_name metadata + one event per entry *)
+      check Alcotest.int "all events present" (List.length snap.T.entries + 1) n
+  | Error e -> Alcotest.fail ("validator rejected a fresh export: " ^ e));
+  (* The export survives a print/parse round trip. *)
+  match J.parse (J.to_string ~indent:true json) with
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+  | Ok json' -> (
+      match TE.validate json' with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("reparsed trace rejected: " ^ e))
+
+let test_validator_rejects_garbage () =
+  let reject what j =
+    match TE.validate j with
+    | Ok _ -> Alcotest.fail ("validator accepted " ^ what)
+    | Error _ -> ()
+  in
+  reject "a non-trace object" (J.Obj [ ("x", J.Int 1) ]);
+  reject "an event without ph"
+    (J.Obj [ ("traceEvents", J.Arr [ J.Obj [ ("name", J.Str "e") ] ]) ]);
+  reject "a backwards timestamp"
+    (J.Obj
+       [
+         ( "traceEvents",
+           J.Arr
+             [
+               J.Obj
+                 [
+                   ("name", J.Str "a"); ("ph", J.Str "i"); ("s", J.Str "t");
+                   ("ts", J.Int 5); ("pid", J.Int 0); ("tid", J.Int 0);
+                 ];
+               J.Obj
+                 [
+                   ("name", J.Str "b"); ("ph", J.Str "i"); ("s", J.Str "t");
+                   ("ts", J.Int 4); ("pid", J.Int 0); ("tid", J.Int 0);
+                 ];
+             ] );
+       ]);
+  reject "an aff_enter without a rule"
+    (J.Obj
+       [
+         ( "traceEvents",
+           J.Arr
+             [
+               J.Obj
+                 [
+                   ("name", J.Str "aff_enter"); ("ph", J.Str "i");
+                   ("ts", J.Int 0); ("pid", J.Int 0); ("tid", J.Int 0);
+                   ("args", J.Obj [ ("node", J.Int 3) ]);
+                 ];
+             ] );
+       ])
+
+let test_explain_rendering () =
+  let snap = traced_kws_snapshot () in
+  let text = TE.explain_to_string snap in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "names a rule" true
+    (List.exists (fun r -> contains text (T.rule_name r)) T.all_rules);
+  check Alcotest.bool "shows the event log" true (contains text "event log");
+  check Alcotest.bool "empty snapshot renders" true
+    (contains (TE.explain_to_string T.empty_snapshot) "0 event(s)")
+
+(* ---- the JSON escaper under the parser -------------------------------------- *)
+
+(* Trace export leans on the hand-rolled escaper for before/after values
+   that can contain anything; round-trip every byte through the parser. *)
+let test_escape_all_bytes () =
+  for b = 0 to 255 do
+    let s = String.make 1 (Char.chr b) in
+    match J.parse (J.to_string (J.Str s)) with
+    | Ok (J.Str s') ->
+        check Alcotest.string (Printf.sprintf "byte 0x%02x" b) s s'
+    | Ok _ -> Alcotest.fail (Printf.sprintf "byte 0x%02x: not a string" b)
+    | Error e ->
+        Alcotest.fail (Printf.sprintf "byte 0x%02x: parse error: %s" b e)
+  done
+
+let escape_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"escape_string round-trips under parse"
+    QCheck.(string_gen Gen.(char_range '\000' '\255'))
+    (fun s ->
+      match J.parse (J.to_string (J.Str s)) with
+      | Ok (J.Str s') -> String.equal s s'
+      | _ -> false)
+
 let () =
   Alcotest.run "obs"
     [
@@ -270,6 +516,7 @@ let () =
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "span mismatch rejected" `Quick
             test_span_mismatch_rejected;
+          Alcotest.test_case "open span names" `Quick test_open_spans;
           Alcotest.test_case "spans survive exceptions" `Quick
             test_span_exception_safe;
           Alcotest.test_case "reset" `Quick test_reset;
@@ -287,5 +534,27 @@ let () =
           Alcotest.test_case "SCC aff localization" `Quick test_scc_aff;
           Alcotest.test_case "Sim aff localization" `Quick test_sim_aff;
           Alcotest.test_case "ISO aff localization" `Quick test_iso_aff;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "ring buffer wraps, drops oldest" `Quick
+            test_tracer_ring_wrap;
+          Alcotest.test_case "noop tracer is a true no-op" `Quick
+            test_tracer_noop;
+          Alcotest.test_case "noop tracer leaves runs bit-identical" `Quick
+            test_noop_tracer_identical_run;
+          Alcotest.test_case "engine events carry rule tags" `Quick
+            test_engine_trace_events;
+          Alcotest.test_case "chrome export validates" `Quick
+            test_chrome_export_validates;
+          Alcotest.test_case "validator rejects garbage" `Quick
+            test_validator_rejects_garbage;
+          Alcotest.test_case "explain rendering" `Quick test_explain_rendering;
+        ] );
+      ( "json escaper",
+        [
+          Alcotest.test_case "all 256 bytes round-trip" `Quick
+            test_escape_all_bytes;
+          QCheck_alcotest.to_alcotest escape_roundtrip_prop;
         ] );
     ]
