@@ -8,6 +8,7 @@
      opt_gain       batch-update optimization gain (prose summary)
      rho_sweep      ρ-insensitivity (prose of Exp-1)
      unbounded      Theorem 1 / Fig. 9 empirical unboundedness demo
+     sim_delta      graph simulation (the paper's fifth class) vs |ΔG|
      micro          Bechamel micro-benchmarks, one per figure
 
    Usage: dune exec bench/main.exe [-- options]
@@ -16,14 +17,17 @@
                      across scales, see EXPERIMENTS.md)
      --reps N        repetitions averaged per point (default 1)
      --seed N        RNG seed (default 2017)
+     --points N      keep only the first N |ΔG| points per sweep (0 = all;
+                     the @bench-gate alias uses this for a fast run)
      --quota S       bechamel time quota per micro-bench (default 0.5s)
      --out PATH      BENCH json output path (default BENCH_incgraph.json)
 
    Besides the tables printed to stdout, every data point is recorded —
    timings, per-engine Obs counter snapshots (measured |AFF|, |CHANGED|,
-   work counters) and speedups against the batch baseline — into a
-   schema-versioned json report (see lib/obs/report.ml and
-   EXPERIMENTS.md).
+   work counters), speedups against the batch baseline, and (schema v2)
+   the per-update latency histograms plus GC/allocation deltas the
+   engines record through Obs.with_apply — into a schema-versioned json
+   report (see lib/obs/report.ml and EXPERIMENTS.md).
 
    Absolute numbers are not comparable to the paper's (different machine,
    language, graph sizes); the reproduction target is the shape: who wins,
@@ -39,6 +43,7 @@ type config = {
   mutable scale : float;
   mutable reps : int;
   mutable seed : int;
+  mutable points : int; (* 0 = every |ΔG| point *)
   mutable quota : float;
   mutable out : string;
 }
@@ -49,6 +54,7 @@ let cfg =
     scale = 0.25;
     reps = 1;
     seed = 2017;
+    points = 0;
     quota = 0.5;
     out = "BENCH_incgraph.json";
   }
@@ -68,6 +74,9 @@ let parse_args () =
     | "--seed" :: v :: rest ->
         cfg.seed <- int_of_string v;
         go rest
+    | "--points" :: v :: rest ->
+        cfg.points <- int_of_string v;
+        go rest
     | "--quota" :: v :: rest ->
         cfg.quota <- float_of_string v;
         go rest
@@ -81,21 +90,28 @@ let parse_args () =
 let rng_of_point tag =
   Random.State.make [| cfg.seed; Hashtbl.hash tag |]
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-(* ---- measurement cells and the json report -------------------------------- *)
-
 module Obs = Core.Obs
+module Histogram = Core.Obs.Histogram
 module Report = Core.Obs.Report
 module Json = Core.Obs.Json
 
-(* One series of one data point: the timed run plus the Obs counter
-   snapshot of the engine that produced it (empty for batch baselines,
-   which maintain no auxiliary structures to account for). *)
-type cell = { time : float; ctrs : (string * int) list }
+(* Wall measurements ride the same monotonic clock as the Obs probes. *)
+let time f =
+  let t0 = Obs.now_s () in
+  let r = f () in
+  (r, Obs.now_s () -. t0)
+
+(* ---- measurement cells and the json report -------------------------------- *)
+
+(* One series of one data point: the timed run, the Obs counter snapshot
+   of the engine that produced it, and its latency/GC histograms (both
+   empty for batch baselines, which maintain no auxiliary structures to
+   account for). *)
+type cell = {
+  time : float;
+  ctrs : (string * int) list;
+  hists : (string * Histogram.t) list;
+}
 
 let cell_times = List.map (fun c -> c.time)
 
@@ -108,12 +124,30 @@ let merge_ctrs a b =
         + Option.value ~default:0 (List.assoc_opt k b) ))
     keys
 
-let cell_add a b = { time = a.time +. b.time; ctrs = merge_ctrs a.ctrs b.ctrs }
+(* Histograms merge exactly (element-wise buckets), so reps accumulate
+   samples instead of averaging them away. *)
+let merge_hists a b =
+  let keys = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.map
+    (fun k ->
+      match (List.assoc_opt k a, List.assoc_opt k b) with
+      | Some ha, Some hb -> (k, Histogram.merge ha hb)
+      | Some h, None | None, Some h -> (k, h)
+      | None, None -> assert false)
+    keys
+
+let cell_add a b =
+  {
+    time = a.time +. b.time;
+    ctrs = merge_ctrs a.ctrs b.ctrs;
+    hists = merge_hists a.hists b.hists;
+  }
 
 let cell_scale reps c =
   {
     time = c.time /. float_of_int reps;
     ctrs = List.map (fun (k, v) -> (k, v / reps)) c.ctrs;
+    hists = c.hists (* distributions keep every sample *);
   }
 
 (* Build an engine against a fresh metrics registry, run the workload, and
@@ -125,9 +159,24 @@ let measured mk apply =
   let s = mk o in
   Obs.reset o;
   let t = snd (time (fun () -> apply s)) in
-  { time = t; ctrs = Obs.counters o }
+  {
+    time = t;
+    ctrs = Obs.counters o;
+    hists = List.map (fun (k, h) -> (k, Histogram.copy h)) (Obs.histograms o);
+  }
 
+let no_cell time = { time; ctrs = []; hists = [] }
 let report = ref None
+
+(* GC words per batch, summarized from the gc_* histograms: total words
+   over the cell's updates, keyed by stat name minus the gc_ prefix. *)
+let gc_of_hists hists =
+  List.filter_map
+    (fun (k, h) ->
+      if String.length k > 3 && String.sub k 0 3 = "gc_" then
+        Some (String.sub k 3 (String.length k - 3), Histogram.sum h)
+      else None)
+    hists
 
 let record ~id ~title ~x ~series ?(batch = -1) cells =
   match !report with
@@ -136,6 +185,19 @@ let record ~id ~title ~x ~series ?(batch = -1) cells =
       let e = Report.experiment r ~id ~title in
       let timings = List.map2 (fun s c -> (s, c.time)) series cells in
       let counters = List.map2 (fun s c -> (s, c.ctrs)) series cells in
+      let histograms =
+        List.concat
+          (List.map2
+             (fun s c -> if c.hists = [] then [] else [ (s, c.hists) ])
+             series cells)
+      in
+      let gc =
+        List.concat
+          (List.map2
+             (fun s c ->
+               match gc_of_hists c.hists with [] -> [] | g -> [ (s, g) ])
+             series cells)
+      in
       let speedup =
         if batch < 0 then []
         else
@@ -147,7 +209,7 @@ let record ~id ~title ~x ~series ?(batch = -1) cells =
                  else [ (s, bt /. Float.max 1e-9 c.time) ])
                (List.combine series cells))
       in
-      Report.add_point e ~x ~timings ~counters ~speedup ()
+      Report.add_point e ~x ~timings ~counters ~speedup ~histograms ~gc ()
 
 (* ---- table printing ------------------------------------------------------- *)
 
@@ -188,7 +250,12 @@ let instantiate profile =
   let rng = rng_of_point ("graph", profile.W.Profiles.name) in
   W.Profiles.instantiate ~scale:cfg.scale ~rng profile
 
-let delta_percents = [ 5; 10; 15; 20; 25; 30; 35; 40 ]
+let all_delta_percents = [ 5; 10; 15; 20; 25; 30; 35; 40 ]
+
+(* Honors --points: the gate alias runs just the head of each sweep. *)
+let delta_percents () =
+  if cfg.points <= 0 then all_delta_percents
+  else List.filteri (fun i _ -> i < cfg.points) all_delta_percents
 
 (* Replay-style workload (see Updates.generate_replay): returns the base
    graph (the master copy minus the insert pool) together with the batch. *)
@@ -287,8 +354,7 @@ let kws_point g q ups =
   let inc = run true in
   let incn = run false in
   let batch =
-    { time = batch_time g ups (fun g' -> ignore (Core.Kws.Batch.run g' q));
-      ctrs = [] }
+    no_cell (batch_time g ups (fun g' -> ignore (Core.Kws.Batch.run g' q)))
   in
   [ inc; incn; batch ]
 
@@ -302,8 +368,7 @@ let rpq_point g q ups =
   let inc = run true in
   let incn = run false in
   let batch =
-    { time = batch_time g ups (fun g' -> ignore (Core.Rpq.Batch.run g' a));
-      ctrs = [] }
+    no_cell (batch_time g ups (fun g' -> ignore (Core.Rpq.Batch.run g' a)))
   in
   [ inc; incn; batch ]
 
@@ -316,8 +381,7 @@ let scc_point g ups =
   let inc = with_config Core.Scc.Inc.inc_config in
   let incn = with_config Core.Scc.Inc.incn_config in
   let batch =
-    { time = batch_time g ups (fun g' -> ignore (Core.Scc.Tarjan.scc g'));
-      ctrs = [] }
+    no_cell (batch_time g ups (fun g' -> ignore (Core.Scc.Tarjan.scc g')))
   in
   let dyn = with_config Core.Scc.Inc.dyn_config in
   [ inc; incn; batch; dyn ]
@@ -331,10 +395,22 @@ let iso_point g p ups =
   let inc = run true in
   let incn = run false in
   let batch =
-    { time = batch_time g ups (fun g' -> ignore (Core.Iso.Vf2.find_all g' p));
-      ctrs = [] }
+    no_cell (batch_time g ups (fun g' -> ignore (Core.Iso.Vf2.find_all g' p)))
   in
   [ inc; incn; batch ]
+
+(* Graph simulation (the fifth class wired through `incgraph`): IncSim
+   against the batch fixpoint SimFix. *)
+let sim_point g p ups =
+  let inc =
+    measured
+      (fun o -> Core.Sim.Inc.init ~obs:o (D.copy g) p)
+      (fun s -> ignore (Core.Sim.Inc.apply_batch s ups))
+  in
+  let batch =
+    no_cell (batch_time g ups (fun g' -> ignore (Core.Sim.Batch.run p g')))
+  in
+  [ inc; batch ]
 
 (* Average a point over cfg.reps distinct update batches (counters are
    averaged alongside the timings). *)
@@ -379,7 +455,7 @@ let exp1 ~figure ~cls ~profile =
     List.map
       (fun pct ->
         (Printf.sprintf "%d%%" pct, averaged point pct g))
-      delta_percents
+      (delta_percents ())
   in
   let batch_col = match cls with `Scc -> 2 | _ -> List.length series - 1 in
   let title =
@@ -649,6 +725,33 @@ let rho_sweep () =
   print_table ~title:"ρ-insensitivity of the incremental algorithms"
     ~xlabel:"ratio" ~series:[ "IncKWS"; "IncRPQ"; "IncSCC"; "IncISO" ] rows
 
+(* ---- graph simulation vs |ΔG| ----------------------------------------------------- *)
+
+(* The fifth query class the CLI serves; exp1-shaped so its points carry
+   the same latency/GC histogram sections as the four paper classes. *)
+let sim_delta () =
+  let g = instantiate W.Profiles.dbpedia_like in
+  Format.printf "@.[sim_delta] dbpedia-like: %d nodes, %d edges@." (D.n_nodes g)
+    (D.n_edges g);
+  let p = pick_iso g 3 3 in
+  Format.printf "pattern: |VQ|=%d |EQ|=%d@." (Core.Iso.Pattern.n_nodes p)
+    (Core.Iso.Pattern.n_edges p);
+  let series = [ "IncSim"; "SimFix" ] in
+  let rows =
+    List.map
+      (fun pct ->
+        ( Printf.sprintf "%d%%" pct,
+          averaged (fun base ups -> sim_point base p ups) pct g ))
+      (delta_percents ())
+  in
+  let title = "Graph simulation varying |ΔG| (dbpedia)" in
+  List.iter
+    (fun (x, cells) -> record ~id:"sim_delta" ~title ~x ~series ~batch:1 cells)
+    rows;
+  let trows = List.map (fun (x, cells) -> (x, cell_times cells)) rows in
+  print_table ~title ~xlabel:"|ΔG|/|G|" ~series trows;
+  report_crossover ~inc:0 ~batch:1 trows
+
 (* ---- unboundedness demo ----------------------------------------------------------- *)
 
 let unbounded () =
@@ -793,6 +896,7 @@ let experiments : (string * (unit -> unit)) list =
     ("unit_updates", unit_updates);
     ("opt_gain", opt_gain);
     ("rho_sweep", rho_sweep);
+    ("sim_delta", sim_delta);
     ("unbounded", unbounded);
     ("micro", micro);
   ]
@@ -812,6 +916,7 @@ let () =
              ("scale", Json.Float cfg.scale);
              ("reps", Json.Int cfg.reps);
              ("seed", Json.Int cfg.seed);
+             ("points", Json.Int cfg.points);
              ("quota", Json.Float cfg.quota);
              ( "experiments",
                Json.Arr (List.map (fun id -> Json.Str id) wanted) );

@@ -13,7 +13,7 @@ module Json = Core.Obs.Json
 module Report = Core.Obs.Report
 module Trace_export = Core.Obs.Trace_export
 
-type kind = Bench of int * int | Trace of int
+type kind = Bench of int * int * int | Trace of int
 
 let check path =
   let ic = open_in_bin path in
@@ -30,6 +30,12 @@ let check path =
       match Report.validate json with
       | Error e -> Error (Printf.sprintf "%s: schema violation: %s" path e)
       | Ok () ->
+          (* Report the file's own version — the validator accepts every
+             version in Report.supported_versions, not only the current. *)
+          let version =
+            Option.value ~default:0
+              (Option.bind (Json.member "schema_version" json) Json.to_int_opt)
+          in
           let n_exp, n_pts =
             match Json.member "experiments" json with
             | Some (Json.Arr exps) ->
@@ -42,7 +48,7 @@ let check path =
                     0 exps )
             | _ -> (0, 0)
           in
-          Ok (Bench (n_exp, n_pts)))
+          Ok (Bench (version, n_exp, n_pts)))
 
 let () =
   let files =
@@ -55,9 +61,9 @@ let () =
   List.iter
     (fun path ->
       match check path with
-      | Ok (Bench (n_exp, n_pts)) ->
+      | Ok (Bench (version, n_exp, n_pts)) ->
           Printf.printf "%s: valid (schema v%d, %d experiments, %d points)\n"
-            path Report.schema_version n_exp n_pts
+            path version n_exp n_pts
       | Ok (Trace n) ->
           Printf.printf "%s: valid chrome trace (%d events)\n" path n
       | Error msg ->

@@ -378,11 +378,24 @@ let bench_cmd =
                 batch_run gb)
           in
           let ctrs = Obs.counters o in
+          let hists = Obs.histograms o in
+          let gc =
+            List.filter_map
+              (fun (k, h) ->
+                if String.length k > 3 && String.sub k 0 3 = "gc_" then
+                  Some
+                    ( String.sub k 3 (String.length k - 3),
+                      Obs.Histogram.sum h )
+                else None)
+              hists
+          in
           Obs.Report.add_point e
             ~x:(string_of_int rep)
             ~timings:[ (inc_name, ti); (batch_name, tb) ]
             ~counters:[ (inc_name, ctrs) ]
             ~speedup:[ (inc_name, tb /. Float.max 1e-9 ti) ]
+            ~histograms:(if hists = [] then [] else [ (inc_name, hists) ])
+            ~gc:(if gc = [] then [] else [ (inc_name, gc) ])
             ();
           if not json then
             Format.printf
@@ -422,7 +435,15 @@ let stats_cmd =
       value & opt int 5
       & info [ "batches" ] ~doc:"Update batches to apply." ~docv:"N")
   in
-  let run path cls bound args batches size seed json =
+  let histo =
+    Arg.(
+      value & flag
+      & info [ "histogram" ]
+          ~doc:
+            "Also print the per-batch latency and GC/allocation histograms \
+             (ASCII bars, one row per non-empty bucket).")
+  in
+  let run path cls bound args batches size seed json histo =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
@@ -450,7 +471,13 @@ let stats_cmd =
           let changed = Obs.counter o Obs.K.changed in
           if changed > 0 then
             Format.printf "  |AFF| / |CHANGED| = %.2f@."
-              (float_of_int aff /. float_of_int changed)
+              (float_of_int aff /. float_of_int changed);
+          if histo then
+            List.iter
+              (fun (name, h) ->
+                Format.printf "@.  histogram %s:@.    @[<v>%a@]@." name
+                  Obs.Histogram.pp h)
+              (Obs.histograms o)
         end;
         `Ok ()
   in
@@ -459,11 +486,12 @@ let stats_cmd =
        ~doc:
          "Drive one incremental session over a random update stream and dump \
           its metrics registry: cost counters (measured |AFF|, |CHANGED|, \
-          work counters) and span timings, as text or json.")
+          work counters), span timings and — with $(b,--histogram) — the \
+          per-batch latency and GC histograms, as text or json.")
     Term.(
       ret
         (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
-       $ size_arg $ seed_arg $ json_flag))
+       $ size_arg $ seed_arg $ json_flag $ histo))
 
 (* ---- trace / explain ------------------------------------------------------- *)
 
@@ -630,6 +658,76 @@ let explain_cmd =
         (const run $ gadget $ limit $ graph_opt $ cls_opt $ bound_arg
        $ qargs_arg $ batches_arg $ size_arg $ seed_arg))
 
+(* ---- compare -------------------------------------------------------------- *)
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline BENCH report.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate BENCH report.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 25.0
+      & info [ "threshold" ]
+          ~doc:
+            "Regression threshold in percent: flag a pair when its timing \
+             or latency p99 grew by more than $(docv)%."
+          ~docv:"PCT")
+  in
+  let min_time =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "min-time" ]
+          ~doc:
+            "Noise floor in seconds: pairs whose grown value stays below \
+             $(docv) are reported but never flagged."
+          ~docv:"S")
+  in
+  let load path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> Error (Printf.sprintf "cannot read %s: %s" path e)
+    | text -> (
+        match Obs.Json.parse text with
+        | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
+        | Ok json -> (
+            match Obs.Report.validate json with
+            | Error e -> Error (Printf.sprintf "%s: invalid BENCH file: %s" path e)
+            | Ok () -> Ok json))
+  in
+  let run old_path new_path threshold min_time =
+    match (load old_path, load new_path) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok old_json, Ok new_json ->
+        let cmp = Obs.Report.compare_reports ~old_json ~new_json in
+        Format.printf "comparing %s (old) vs %s (new)@." old_path new_path;
+        Format.printf "%a" (Obs.Report.pp_comparison ~threshold ~min_time) cmp;
+        if cmp.Obs.Report.cells = [] then
+          `Error (false, "no common data points — nothing compared")
+        else if Obs.Report.regressions ~threshold ~min_time cmp <> [] then begin
+          Format.eprintf
+            "incgraph: performance regressions detected (see table)@.";
+          exit 1
+        end
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Regression detector over two BENCH json reports (from $(b,incgraph \
+          bench --out) or bench/main.exe): pair every (experiment, x, \
+          series) present in both files, print the timing and latency-p99 \
+          delta table, and exit non-zero when any pair regressed beyond \
+          $(b,--threshold) percent above the $(b,--min-time) noise floor.")
+    Term.(ret (const run $ old_arg $ new_arg $ threshold $ min_time))
+
 (* ---- fuzz ----------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -733,6 +831,7 @@ let () =
             stream_cmd;
             fuzz_cmd;
             bench_cmd;
+            compare_cmd;
             stats_cmd;
             trace_cmd;
             explain_cmd;

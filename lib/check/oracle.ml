@@ -59,4 +59,15 @@ let check_metrics ~prev inst =
             (Check_failed
                (Printf.sprintf "metrics: counter %s disappeared (was %d)" k v)))
     prev;
+  (* Every latency/GC histogram the engine recorded so far must satisfy
+     the structural invariants (bucket totals match the count, min <= max,
+     the sum within [count*min, count*max]). *)
+  List.iter
+    (fun (k, h) ->
+      match Ig_obs.Histogram.check_invariants h with
+      | () -> ()
+      | exception Failure msg ->
+          raise
+            (Check_failed (Printf.sprintf "metrics: histogram %s: %s" k msg)))
+    (Ig_obs.Obs.histograms o);
   cur

@@ -1,5 +1,6 @@
 module Obs = struct
   include Ig_obs.Obs
+  module Histogram = Ig_obs.Histogram
   module Json = Ig_obs.Json
   module Report = Ig_obs.Report
   module Tracer = Ig_obs.Tracer

@@ -42,6 +42,7 @@ module Obs : sig
     include Ig_obs.Obs
   end
 
+  module Histogram = Ig_obs.Histogram
   module Json = Ig_obs.Json
   module Report = Ig_obs.Report
   module Tracer = Ig_obs.Tracer

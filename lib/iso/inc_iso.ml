@@ -129,18 +129,21 @@ let process_inserts t endpoints =
   end
 
 let insert_edge t u v =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.add_edge t.g u v then begin
     Obs.note_changed_input t.obs 1;
     process_inserts t [ u; v ]
   end
 
 let delete_edge t u v =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.remove_edge t.g u v then begin
     Obs.note_changed_input t.obs 1;
     process_delete t (u, v)
   end
 
 let apply_batch t updates =
+  Obs.with_apply t.obs @@ fun () ->
   (* Deletions first (paper step (1)), then insertions. *)
   Obs.with_span t.obs "iso.process" (fun () ->
       Tracer.with_span t.trace "iso.process" (fun () ->

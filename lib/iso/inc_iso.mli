@@ -41,7 +41,11 @@ val init :
     afterwards. [obs] (default {!Ig_obs.Obs.noop}) receives cost counters:
     [aff] (matches created or destroyed — the measured |AFF|),
     [cert_rewrites], [nodes_visited] (d_Q-neighborhood sizes), [rematches]
-    (VF2 invocations), and [changed] = |ΔG| + |ΔO|. [trace] (default
+    (VF2 invocations), and [changed] = |ΔG| + |ΔO|. Each outermost
+    {!apply_batch}/{!insert_edge}/{!delete_edge} call also records one
+    sample into the [apply_latency_s] histogram (monotonic seconds) and
+    the [gc_minor_words]/[gc_major_words]/[gc_promoted_words] histograms
+    ([Gc.quick_stat] deltas). [trace] (default
     {!Ig_obs.Tracer.noop}) receives structured events: [Aff_enter] tagged
     [Iso_match_broken] (a match ran through a deleted edge) or
     [Iso_ball_rematch] (a fresh match from the localized VF2 run),

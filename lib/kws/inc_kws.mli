@@ -53,7 +53,10 @@ val init :
     entries invalidated), [cert_rewrites] (entries re-settled),
     [nodes_visited], [edges_relaxed], [queue_pushes], and the
     [changed]/[changed_input]/[changed_output] accounting of |ΔG| + |ΔO|.
-    [trace] (default {!Ig_obs.Tracer.noop}) receives typed provenance
+    Each outermost {!apply_batch}/{!insert_edge}/{!delete_edge} call also
+    records one sample into the [apply_latency_s] histogram (monotonic
+    seconds) and the [gc_minor_words]/[gc_major_words]/[gc_promoted_words]
+    histograms ([Gc.quick_stat] deltas). [trace] (default {!Ig_obs.Tracer.noop}) receives typed provenance
     events at the same sites: [Aff_enter] tagged [Kws_next_on_deleted]
     (Fig. 3 lines 1-6) or [Kws_shorter_kdist] (Fig. 1), [Cert_rewrite] per
     re-settled [kdist[i]] entry with before/after values, and

@@ -1,10 +1,11 @@
 (* Cost-accounting observability.
 
-   A registry of named monotonic counters, gauges, wall-clock timers and
-   scoped spans. Every incremental engine takes one at creation; the
-   default is [noop], a sink whose operations are single-branch no-ops, so
-   engines that nobody measures pay one match per probe and allocate
-   nothing.
+   A registry of named monotonic counters, gauges, timers, scoped spans
+   and latency/allocation histograms. Every incremental engine takes one
+   at creation; the default is [noop], a sink whose operations are
+   single-branch no-ops, so engines that nobody measures pay one match per
+   probe and allocate nothing. All durations are measured on a monotonic
+   clock (see the .mli for the clock contract).
 
    The counters realize the paper's cost model: [K.aff] is the measured
    |AFF| (certificate entries identified as affected), [K.cert_rewrites]
@@ -19,6 +20,10 @@ type registry = {
   timers : (string, float ref) Hashtbl.t;
   spans : (string, int ref * float ref) Hashtbl.t; (* entries, cumulative s *)
   mutable span_stack : (string * float) list;
+  histos : (string, Histogram.t) Hashtbl.t;
+  mutable in_apply : bool;
+      (* reentrancy guard for [with_apply]: a batch entry point that funnels
+         through unit entry points must record one sample, not two *)
 }
 
 type t = Noop | Reg of registry
@@ -33,7 +38,20 @@ let create () =
       timers = Hashtbl.create 8;
       spans = Hashtbl.create 8;
       span_stack = [];
+      histos = Hashtbl.create 8;
+      in_apply = false;
     }
+
+(* ---- the clock ------------------------------------------------------------
+
+   All timers and spans read CLOCK_MONOTONIC (via the bechamel stubs, ns
+   resolution), never the wall clock: an NTP step or DST adjustment during
+   a measured section must not produce a negative or wildly wrong
+   duration. Monotonic timestamps are meaningful only as differences
+   within one process. *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
 
 let enabled = function Noop -> false | Reg _ -> true
 
@@ -56,6 +74,14 @@ module K = struct
   let changed = "changed"
   let changed_input = "changed_input"
   let changed_output = "changed_output"
+
+  (* Canonical histogram names recorded by [with_apply]. Uniform across
+     engines: each engine owns its registry, so the series name — not the
+     key — tells engines apart, and BENCH comparison pairs them by key. *)
+  let apply_latency = "apply_latency_s"
+  let gc_minor_words = "gc_minor_words"
+  let gc_major_words = "gc_major_words"
+  let gc_promoted_words = "gc_promoted_words"
 end
 
 (* ---- counters ------------------------------------------------------------ *)
@@ -120,10 +146,8 @@ let time t name f =
   match t with
   | Noop -> f ()
   | Reg _ ->
-      let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () -> add_time t name (Unix.gettimeofday () -. t0))
-        f
+      let t0 = now_s () in
+      Fun.protect ~finally:(fun () -> add_time t name (now_s () -. t0)) f
 
 let timer t name =
   match t with
@@ -141,7 +165,7 @@ let open_spans = function Noop -> [] | Reg r -> List.map fst r.span_stack
 let span_begin t name =
   match t with
   | Noop -> ()
-  | Reg r -> r.span_stack <- (name, Unix.gettimeofday ()) :: r.span_stack
+  | Reg r -> r.span_stack <- (name, now_s ()) :: r.span_stack
 
 let span_end t name =
   match t with
@@ -159,7 +183,7 @@ let span_end t name =
                 cell
           in
           entries := !entries + 1;
-          total := !total +. (Unix.gettimeofday () -. t0)
+          total := !total +. (now_s () -. t0)
       | (top, _) :: _ ->
           invalid_arg
             (Printf.sprintf "Obs.span_end: %s closed while %s is open" name top)
@@ -181,6 +205,54 @@ let span t name =
       match Hashtbl.find_opt r.spans name with
       | Some (n, s) -> (!n, !s)
       | None -> (0, 0.0))
+
+(* ---- histograms ------------------------------------------------------------ *)
+
+let hist_slot r name =
+  match Hashtbl.find_opt r.histos name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace r.histos name h;
+      h
+
+let observe t name v =
+  match t with Noop -> () | Reg r -> Histogram.observe (hist_slot r name) v
+
+let histogram t name =
+  match t with Noop -> None | Reg r -> Hashtbl.find_opt r.histos name
+
+let histograms = function
+  | Noop -> []
+  | Reg r ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.histos [])
+
+(* Per-batch latency and allocation accounting: time [f] on the monotonic
+   clock and record the duration into the [K.apply_latency] histogram,
+   together with the [Gc.quick_stat] deltas (minor/major/promoted words)
+   the batch caused. Engines wrap both their batch and their unit entry
+   points with this; the reentrancy guard makes the outermost wrapper the
+   one that records, so a batch that funnels through unit entry points
+   still contributes exactly one sample. The Noop sink costs one branch. *)
+let with_apply t f =
+  match t with
+  | Noop -> f ()
+  | Reg r when r.in_apply -> f ()
+  | Reg r ->
+      r.in_apply <- true;
+      let gc0 = Gc.quick_stat () in
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9 in
+          r.in_apply <- false;
+          observe t K.apply_latency dt;
+          let gc1 = Gc.quick_stat () in
+          observe t K.gc_minor_words (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+          observe t K.gc_major_words (gc1.Gc.major_words -. gc0.Gc.major_words);
+          observe t K.gc_promoted_words
+            (gc1.Gc.promoted_words -. gc0.Gc.promoted_words))
+        f
 
 (* ---- snapshots -------------------------------------------------------------- *)
 
@@ -205,6 +277,7 @@ let reset = function
       Hashtbl.reset r.gauges;
       Hashtbl.reset r.timers;
       Hashtbl.reset r.spans;
+      Hashtbl.reset r.histos;
       r.span_stack <- []
 
 (* Counter snapshot difference: what a single update contributed. Keys are
@@ -233,4 +306,7 @@ let to_json t =
              (fun (k, (n, s)) ->
                (k, Json.Obj [ ("count", Json.Int n); ("seconds", Json.Float s) ]))
              (spans t)) );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, Histogram.to_json h)) (histograms t))
+      );
     ]

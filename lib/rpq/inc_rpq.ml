@@ -304,6 +304,7 @@ let split_effective eff =
   (dels, inss)
 
 let apply_batch t updates =
+  Obs.with_apply t.obs @@ fun () ->
   if t.grouped then begin
     let dels, inss = split_effective (apply_effective t updates) in
     process_all t ~dels ~inss
@@ -320,12 +321,14 @@ let apply_batch t updates =
   flush_delta t
 
 let insert_edge t u v =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.add_edge (graph t) u v then begin
     Obs.note_changed_input t.obs 1;
     process_all t ~dels:[] ~inss:[ (u, v) ]
   end
 
 let delete_edge t u v =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.remove_edge (graph t) u v then begin
     Obs.note_changed_input t.obs 1;
     process_all t ~dels:[ (u, v) ] ~inss:[]

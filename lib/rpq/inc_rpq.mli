@@ -60,7 +60,11 @@ val init :
     {!Ig_obs.Obs.noop}) receives cost counters: [aff] (product-graph
     markings invalidated — the measured |AFF|), [cert_rewrites] (markings
     re-settled), [nodes_visited], [edges_relaxed], [queue_pushes], and
-    [changed] = |ΔG| + |ΔO|. [trace] (default {!Ig_obs.Tracer.noop})
+    [changed] = |ΔG| + |ΔO|. Each outermost
+    {!apply_batch}/{!insert_edge}/{!delete_edge} call also records one
+    sample into the [apply_latency_s] histogram (monotonic seconds) and
+    the [gc_minor_words]/[gc_major_words]/[gc_promoted_words] histograms
+    ([Gc.quick_stat] deltas). [trace] (default {!Ig_obs.Tracer.noop})
     receives structured events: [Aff_enter] tagged [Rpq_support_lost]
     (a marking lost its last shorter-distance predecessor) or
     [Rpq_dist_decrease] (an inserted edge created a marking),

@@ -437,6 +437,7 @@ let insert_inter t cu cv =
 let insert_intra t c = if t.cfg.eager_cert then refresh_cert t c
 
 let insert_edge t u v =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.add_edge t.g u v then begin
     Obs.note_changed_input t.obs 1;
     let cu = comp_of t u and cv = comp_of t v in
@@ -475,6 +476,7 @@ let delete_intra t c u v =
   else recert_or_split t c
 
 let delete_edge t u v =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.remove_edge t.g u v then begin
     Obs.note_changed_input t.obs 1;
     let cu = comp_of t u and cv = comp_of t v in
@@ -570,6 +572,7 @@ let apply_batch_grouped t updates =
     !inter_ins
 
 let apply_batch t updates =
+  Obs.with_apply t.obs @@ fun () ->
   Obs.with_span t.obs "scc.process" (fun () ->
       Tracer.with_span t.trace "scc.process" (fun () ->
           if t.cfg.group_batch then apply_batch_grouped t updates

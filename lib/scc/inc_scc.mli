@@ -92,7 +92,11 @@ val init :
     plus rank-region size — the measured |AFF|), [cert_rewrites],
     [nodes_visited], [edges_relaxed] and [queue_pushes] (affected-region
     closures over the contracted graph), [rank_moves], [violations],
-    [fast_deletes], and [changed] = |ΔG| + |ΔO|. [trace] (default
+    [fast_deletes], and [changed] = |ΔG| + |ΔO|. Each outermost
+    {!apply_batch}/{!insert_edge}/{!delete_edge} call also records one
+    sample into the [apply_latency_s] histogram (monotonic seconds) and
+    the [gc_minor_words]/[gc_major_words]/[gc_promoted_words] histograms
+    ([Gc.quick_stat] deltas). [trace] (default
     {!Ig_obs.Tracer.noop}) receives structured events: [Aff_enter] tagged
     [Scc_local_tarjan] (node re-certified by a local Tarjan run; node ids)
     or [Scc_rank_swap] (component inside the affected rank region;

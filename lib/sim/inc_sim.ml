@@ -90,6 +90,7 @@ let cascade t doomed =
   done
 
 let delete_edge t a b =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.remove_edge t.g a b then begin
     Obs.note_changed_input t.obs 1;
     let doomed = ref [] in
@@ -111,6 +112,7 @@ let delete_edge t a b =
   end
 
 let insert_edge t a b =
+  Obs.with_apply t.obs @@ fun () ->
   if Digraph.add_edge t.g a b then begin
     Obs.note_changed_input t.obs 1;
     (* Existing pairs gain support through the new edge. *)
@@ -197,6 +199,7 @@ let insert_edge t a b =
   end
 
 let apply_batch t updates =
+  Obs.with_apply t.obs @@ fun () ->
   Obs.with_span t.obs "sim.process" (fun () ->
       Tracer.with_span t.trace "sim.process" (fun () ->
           List.iter

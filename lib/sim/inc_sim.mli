@@ -35,7 +35,10 @@ val init :
     pairs gained or lost — the measured |AFF|), [cert_rewrites],
     [nodes_visited] (cascade pops + revalidation closure), [edges_relaxed]
     (support rescans), [queue_pushes], and [changed] = |ΔG| + |ΔO|.
-    [trace] (default {!Ig_obs.Tracer.noop}) receives structured events:
+    Each outermost {!apply_batch}/{!insert_edge}/{!delete_edge} call also
+    records one sample into the [apply_latency_s] histogram (monotonic
+    seconds) and the [gc_minor_words]/[gc_major_words]/
+    [gc_promoted_words] histograms ([Gc.quick_stat] deltas). [trace] (default {!Ig_obs.Tracer.noop}) receives structured events:
     [Aff_enter] tagged [Sim_support_zero] (a pair's support counter hit
     zero in the cascade) or [Sim_revalidated] (a pair re-entered the
     greatest simulation), [Cert_rewrite] on the per-pattern-node [sim(u)]

@@ -477,6 +477,110 @@ let test_explain_rendering () =
   check Alcotest.bool "empty snapshot renders" true
     (contains (TE.explain_to_string T.empty_snapshot) "0 event(s)")
 
+(* ---- histograms and with_apply ----------------------------------------------- *)
+
+module H = Ig_obs.Histogram
+
+let test_observe_and_lookup () =
+  let o = O.create () in
+  check Alcotest.bool "absent histogram is None" true (O.histogram o "h" = None);
+  O.observe o "h" 1.0;
+  O.observe o "h" 2.0;
+  O.observe o "g" 0.5;
+  (match O.histogram o "h" with
+  | None -> Alcotest.fail "histogram disappeared"
+  | Some h ->
+      check Alcotest.int "two samples" 2 (H.count h);
+      check (Alcotest.float 1e-12) "sum" 3.0 (H.sum h));
+  check
+    (Alcotest.list Alcotest.string)
+    "snapshot sorted by name" [ "g"; "h" ]
+    (List.map fst (O.histograms o));
+  O.reset o;
+  check Alcotest.bool "reset clears histograms" true (O.histograms o = [])
+
+let test_noop_histograms () =
+  O.observe O.noop "h" 1.0;
+  check Alcotest.bool "noop stores nothing" true (O.histogram O.noop "h" = None);
+  check Alcotest.bool "noop snapshot empty" true (O.histograms O.noop = []);
+  check Alcotest.int "with_apply passes through" 42
+    (O.with_apply O.noop (fun () -> 42))
+
+let test_with_apply_records () =
+  let o = O.create () in
+  for _ = 1 to 3 do
+    O.with_apply o (fun () -> ignore (Sys.opaque_identity (List.init 100 Fun.id)))
+  done;
+  List.iter
+    (fun name ->
+      match O.histogram o name with
+      | None -> Alcotest.failf "with_apply recorded no %s" name
+      | Some h ->
+          check Alcotest.int (name ^ ": one sample per call") 3 (H.count h);
+          if H.min_value h < 0.0 then
+            Alcotest.failf "%s went negative: %g" name (H.min_value h))
+    [
+      O.K.apply_latency;
+      O.K.gc_minor_words;
+      O.K.gc_major_words;
+      O.K.gc_promoted_words;
+    ]
+
+let test_with_apply_reentrant () =
+  let o = O.create () in
+  (* A batch entry point funneling through unit entry points: only the
+     outermost wrapper records. *)
+  O.with_apply o (fun () ->
+      O.with_apply o (fun () -> ());
+      O.with_apply o (fun () -> ()));
+  (match O.histogram o O.K.apply_latency with
+  | None -> Alcotest.fail "no latency recorded"
+  | Some h -> check Alcotest.int "one sample for the whole nest" 1 (H.count h));
+  (* The guard resets even when the thunk raises. *)
+  (try O.with_apply o (fun () -> failwith "boom") with Failure _ -> ());
+  O.with_apply o (fun () -> ());
+  match O.histogram o O.K.apply_latency with
+  | None -> Alcotest.fail "no latency recorded"
+  | Some h ->
+      check Alcotest.int "guard released after exception" 3 (H.count h)
+
+let test_monotonic_durations () =
+  (* The clock contract: spans and timers can never go negative, and the
+     raw clock never steps backwards across calls. *)
+  let o = O.create () in
+  for _ = 1 to 100 do
+    O.span_begin o "s";
+    O.span_end o "s";
+    O.time o "t" (fun () -> ())
+  done;
+  let _, span_total = O.span o "s" in
+  if span_total < 0.0 then Alcotest.failf "negative span total %g" span_total;
+  if O.timer o "t" < 0.0 then Alcotest.failf "negative timer %g" (O.timer o "t");
+  let prev = ref (O.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = O.now_ns () in
+    if Int64.compare t !prev < 0 then Alcotest.fail "clock stepped backwards";
+    prev := t
+  done
+
+let test_engine_latency_histograms () =
+  (* One engine end-to-end: unit entry points and batches both record,
+     one sample per outermost call, and the snapshot reaches to_json. *)
+  let g = labeled_graph [ "a"; "b"; "c" ] [ (0, 1) ] in
+  let o = O.create () in
+  let s = Ig_scc.Inc_scc.init ~obs:o g in
+  Ig_scc.Inc_scc.insert_edge s 1 2;
+  Ig_scc.Inc_scc.delete_edge s 0 1;
+  ignore (Ig_scc.Inc_scc.apply_batch s [ Digraph.Insert (2, 0) ]);
+  (match O.histogram o O.K.apply_latency with
+  | None -> Alcotest.fail "engine recorded no latency"
+  | Some h -> check Alcotest.int "three outermost calls" 3 (H.count h));
+  match J.member "histograms" (O.to_json o) with
+  | Some (J.Obj kvs) ->
+      check Alcotest.bool "latency histogram exported" true
+        (List.mem_assoc O.K.apply_latency kvs)
+  | _ -> Alcotest.fail "to_json lacks a histograms object"
+
 (* ---- the JSON escaper under the parser -------------------------------------- *)
 
 (* Trace export leans on the hand-rolled escaper for before/after values
@@ -550,6 +654,21 @@ let () =
           Alcotest.test_case "validator rejects garbage" `Quick
             test_validator_rejects_garbage;
           Alcotest.test_case "explain rendering" `Quick test_explain_rendering;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "observe and lookup" `Quick
+            test_observe_and_lookup;
+          Alcotest.test_case "noop sink stores nothing" `Quick
+            test_noop_histograms;
+          Alcotest.test_case "with_apply records latency and GC" `Quick
+            test_with_apply_records;
+          Alcotest.test_case "with_apply is reentrancy-safe" `Quick
+            test_with_apply_reentrant;
+          Alcotest.test_case "monotonic clock contract" `Quick
+            test_monotonic_durations;
+          Alcotest.test_case "engine latency end-to-end" `Quick
+            test_engine_latency_histograms;
         ] );
       ( "json escaper",
         [
