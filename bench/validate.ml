@@ -1,19 +1,22 @@
-(* Validate BENCH_*.json reports and TRACE_*.json Chrome trace files.
+(* Validate BENCH_*.json reports, TRACE_*.json Chrome trace files and
+   incgraph-lint reports.
 
    Usage: dune exec bench/validate.exe -- FILE [FILE...]
    Files carrying a "traceEvents" key are checked as Chrome trace-event
    exports (Core.Obs.Trace_export.validate: well-formed events, nesting
-   spans, monotone timestamps, rule-tagged aff_enter instants); everything
-   else is checked as a BENCH report. Exits nonzero on the first file that
-   fails to parse or validate. Used by the @bench-smoke and @trace-smoke
-   aliases to guarantee that what the writers emit is what the validators
-   promise. *)
+   spans, monotone timestamps, rule-tagged aff_enter instants); files whose
+   "tool" is "incgraph-lint" as lint reports (Core.Lint.validate);
+   everything else as a BENCH report. Exits nonzero on the first file that
+   fails to parse or validate. Used by the @bench-smoke, @trace-smoke and
+   @lint aliases to guarantee that what the writers emit is what the
+   validators promise. *)
 
 module Json = Core.Obs.Json
 module Report = Core.Obs.Report
 module Trace_export = Core.Obs.Trace_export
+module Lint = Core.Lint
 
-type kind = Bench of int * int * int | Trace of int
+type kind = Bench of int * int * int | Trace of int | Lint_report of int
 
 let check path =
   let ic = open_in_bin path in
@@ -26,6 +29,12 @@ let check path =
       match Trace_export.validate json with
       | Error e -> Error (Printf.sprintf "%s: trace violation: %s" path e)
       | Ok n -> Ok (Trace n))
+  | Ok json
+    when Option.bind (Json.member "tool" json) Json.to_str_opt
+         = Some "incgraph-lint" -> (
+      match Lint.validate json with
+      | Error e -> Error (Printf.sprintf "%s: lint-report violation: %s" path e)
+      | Ok n -> Ok (Lint_report n))
   | Ok json -> (
       match Report.validate json with
       | Error e -> Error (Printf.sprintf "%s: schema violation: %s" path e)
@@ -66,6 +75,8 @@ let () =
             path version n_exp n_pts
       | Ok (Trace n) ->
           Printf.printf "%s: valid chrome trace (%d events)\n" path n
+      | Ok (Lint_report n) ->
+          Printf.printf "%s: valid lint report (%d diagnostics)\n" path n
       | Error msg ->
           prerr_endline msg;
           exit 1)

@@ -9,6 +9,7 @@
      stats      cost-accounting snapshot of one incremental session
      trace      dump a Chrome trace-event file of one traced session
      explain    per-update AFF provenance with the paper-rule histogram
+     lint       determinism & instrumentation linter over the repo sources
 
    Examples:
      incgraph generate -p dbpedia -s 0.1 -o kg.txt
@@ -728,6 +729,85 @@ let compare_cmd =
           $(b,--threshold) percent above the $(b,--min-time) noise floor.")
     Term.(ret (const run $ old_arg $ new_arg $ threshold $ min_time))
 
+(* ---- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module L = Core.Lint in
+  let root_arg =
+    Arg.(
+      value & pos 0 dir "."
+      & info [] ~docv:"ROOT"
+          ~doc:"Repository root to lint (bench/, bin/, lib/, test/ under it).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ]
+          ~doc:
+            "Accept the diagnostics recorded in $(docv) (a previous --json \
+             report or a dedicated baseline file); only new findings fail \
+             the run."
+          ~docv:"FILE")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~doc:"Also write the json report to $(docv)."
+          ~docv:"FILE")
+  in
+  let run root baseline json out =
+    match Option.map L.load_baseline baseline with
+    | Some (Error e) -> `Error (false, "bad baseline: " ^ e)
+    | (None | Some (Ok _)) as b ->
+        let accepted =
+          match b with Some (Ok ds) -> ds | _ -> []
+        in
+        let r = L.run ~root in
+        let kept, baselined =
+          L.subtract_baseline ~baseline:accepted r.L.diagnostics
+        in
+        let visible = { r with L.diagnostics = kept } in
+        let report = L.report_to_json ~baselined visible in
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (Core.Obs.Json.to_string ~indent:true report);
+                Out_channel.output_char oc '\n'))
+          out;
+        if json then
+          print_endline (Core.Obs.Json.to_string ~indent:true report)
+        else begin
+          List.iter (Format.printf "%a@." L.pp_diagnostic) kept;
+          Format.printf
+            "lint: %d file(s), %d finding(s), %d suppressed, %d baselined@."
+            visible.L.files_scanned (List.length kept) visible.L.suppressed
+            baselined
+        end;
+        if kept = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d un-baselined lint finding(s)"
+                (List.length kept) )
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Determinism & instrumentation linter: a parse-only static-analysis \
+          pass over the repo's OCaml sources enforcing the discipline behind \
+          the engines' cross-hash-seed determinism — no polymorphic compare \
+          or hash in engine modules (D1), no unordered Hashtbl/adjacency \
+          iteration outside the sorted helpers unless annotated with \
+          [@lint.allow] (D2), no ambient randomness or wall-clock reads in \
+          lib/ outside lib/obs (D3), Obs.with_apply-wrapped and rule-tagged \
+          update entry points in every engine (D4), and an .mli for every \
+          lib/ module (D5). Exits non-zero when any un-baselined finding \
+          remains.")
+    Term.(ret (const run $ root_arg $ baseline_arg $ json_flag $ out_arg))
+
 (* ---- fuzz ----------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -835,4 +915,5 @@ let () =
             stats_cmd;
             trace_cmd;
             explain_cmd;
+            lint_cmd;
           ]))

@@ -65,6 +65,8 @@ module Check = struct
   module Scenarios = Ig_check.Scenarios
 end
 
+module Lint = Ig_lint.Lint
+
 module type Session = sig
   type t
   type query

@@ -116,6 +116,13 @@ end
     cross-checked against its batch counterpart under seeded random update
     streams, with ddmin shrinking of failures (see [incgraph fuzz]). *)
 
+module Lint = Ig_lint.Lint
+(** Determinism & instrumentation linter: a parse-only static-analysis
+    pass over the repo's own sources enforcing rules D1–D5 (no
+    polymorphic compare in engines, sorted-or-annotated hash iteration,
+    no ambient nondeterminism, instrumented update entry points,
+    interfaces everywhere). See [incgraph lint] and DESIGN.md §8.4. *)
+
 (** {1 Uniform sessions} *)
 
 (** The common shape of the four incremental engines: create once with the

@@ -87,28 +87,39 @@ let iter_nodes f g =
 
 let iter_succ f g v =
   check_node g v;
-  Hashtbl.iter (fun w () -> f w) (Vec.get g.succ v)
+  (Hashtbl.iter [@lint.allow "D2"]) (fun w () -> f w) (Vec.get g.succ v)
 
 let iter_pred f g v =
   check_node g v;
-  Hashtbl.iter (fun u () -> f u) (Vec.get g.pred v)
+  (Hashtbl.iter [@lint.allow "D2"]) (fun u () -> f u) (Vec.get g.pred v)
 
-let iter_edges f g = iter_nodes (fun u -> iter_succ (fun v -> f u v) g u) g
+(* Adjacency keys in ascending node order. The unsorted [iter_succ] /
+   [iter_pred] visit neighbors in hash-table order, which varies with the
+   hash seed; every consumer whose visit order can leak into certificates,
+   traces or user-visible output must use these instead. *)
+let sorted_keys tbl =
+  let acc = (Hashtbl.fold [@lint.allow "D2"]) (fun k () acc -> k :: acc) tbl [] in
+  List.sort Int.compare acc
 
-let succ_list g v =
-  let acc = ref [] in
-  iter_succ (fun w -> acc := w :: !acc) g v;
-  !acc
+let iter_succ_sorted f g v =
+  check_node g v;
+  List.iter f (sorted_keys (Vec.get g.succ v))
 
-let pred_list g v =
-  let acc = ref [] in
-  iter_pred (fun u -> acc := u :: !acc) g v;
-  !acc
+let iter_pred_sorted f g v =
+  check_node g v;
+  List.iter f (sorted_keys (Vec.get g.pred v))
+
+let iter_edges f g =
+  iter_nodes (fun u -> iter_succ_sorted (fun v -> f u v) g u) g
+
+let succ_list g v = check_node g v; sorted_keys (Vec.get g.succ v)
+
+let pred_list g v = check_node g v; sorted_keys (Vec.get g.pred v)
 
 let edges g =
   let acc = ref [] in
   iter_edges (fun u v -> acc := (u, v) :: !acc) g;
-  !acc
+  List.rev !acc
 
 let fold_nodes f g acc =
   let acc = ref acc in

@@ -64,13 +64,34 @@ val out_degree : t -> node -> int
 val in_degree : t -> node -> int
 
 val iter_nodes : (node -> unit) -> t -> unit
+
 val iter_succ : (node -> unit) -> t -> node -> unit
+(** Successors in unspecified (hash-table) order, which varies with the
+    process hash seed. Use only where the visit order provably cannot
+    reach certificates, trace events or user-visible output; otherwise use
+    {!iter_succ_sorted}. *)
+
 val iter_pred : (node -> unit) -> t -> node -> unit
+(** Predecessor counterpart of {!iter_succ}; same order caveat. *)
+
+val iter_succ_sorted : (node -> unit) -> t -> node -> unit
+(** Successors in ascending node order — deterministic across hash seeds.
+    Costs an O(d log d) sort of the adjacency keys per call. *)
+
+val iter_pred_sorted : (node -> unit) -> t -> node -> unit
+(** Predecessors in ascending node order; see {!iter_succ_sorted}. *)
+
 val iter_edges : (node -> node -> unit) -> t -> unit
+(** All edges in lexicographic [(u, v)] order (deterministic). *)
 
 val succ_list : t -> node -> node list
+(** Successors in ascending node order. *)
+
 val pred_list : t -> node -> node list
+(** Predecessors in ascending node order. *)
+
 val edges : t -> (node * node) list
+(** All edges in lexicographic [(u, v)] order (deterministic). *)
 
 val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
 

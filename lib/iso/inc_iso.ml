@@ -80,8 +80,13 @@ let remove_match t c =
       else Hashtbl.replace t.lost c m
 
 let flush_delta t =
-  let added = Hashtbl.fold (fun _ m acc -> m :: acc) t.gained [] in
-  let removed = Hashtbl.fold (fun _ m acc -> m :: acc) t.lost [] in
+  (* Canon order: the delta lists are consumer-visible. *)
+  let added =
+    List.map snd (Obs.sorted_bindings ~compare:Vf2.compare_canon t.gained)
+  in
+  let removed =
+    List.map snd (Obs.sorted_bindings ~compare:Vf2.compare_canon t.lost)
+  in
   Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
@@ -91,7 +96,10 @@ let process_delete t e =
   match Hashtbl.find_opt t.edge_index e with
   | None -> ()
   | Some set ->
-      let cs = Hashtbl.fold (fun c () acc -> c :: acc) set [] in
+      (* Sorted: the removal order reaches the trace. *)
+      let cs =
+        List.map fst (Obs.sorted_bindings ~compare:Vf2.compare_canon set)
+      in
       let n = List.length cs in
       Obs.add t.obs Obs.K.aff n;
       Obs.add t.obs Obs.K.cert_rewrites n;
@@ -207,7 +215,9 @@ let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g p =
   Tracer.clear t.trace;
   t
 
-let matches t = Hashtbl.fold (fun _ m acc -> m :: acc) t.matches []
+(* Canon order: user-visible. *)
+let matches t =
+  List.map snd (Obs.sorted_bindings ~compare:Vf2.compare_canon t.matches)
 
 let n_matches t = Hashtbl.length t.matches
 
@@ -222,8 +232,8 @@ let check_invariants t =
       let c = Vf2.canon_of t.p m in
       if not (Hashtbl.mem t.matches c) then fail "match missing")
     fresh;
-  (* Index consistency. *)
-  Hashtbl.iter
+  (* Index consistency. Order-free: each check is independent. *)
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun _ m ->
       List.iter
         (fun e ->
@@ -232,9 +242,9 @@ let check_invariants t =
           | _ -> fail "edge index missing an entry")
         (image_edges t m))
     t.matches;
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun e s ->
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun c () ->
           if not (Hashtbl.mem t.matches c) then
             fail "edge index references dead match";

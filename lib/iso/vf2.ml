@@ -4,10 +4,18 @@ type node = Digraph.node
 type mapping = node array
 type canon = node list * (node * node) list
 
+let compare_edge (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let compare_canon (ns1, es1) (ns2, es2) =
+  match List.compare Int.compare ns1 ns2 with
+  | 0 -> List.compare compare_edge es1 es2
+  | c -> c
+
 let canon_of p m =
-  let nodes = List.sort compare (Array.to_list m) in
+  let nodes = List.sort Int.compare (Array.to_list m) in
   let edges =
-    List.sort compare
+    List.sort compare_edge
       (List.map (fun (u, v) -> (m.(u), m.(v))) (Pattern.edges p))
   in
   (nodes, edges)
@@ -78,9 +86,11 @@ let iter_matches ?(allowed = fun _ -> true) g p f =
         let anchor =
           List.find_opt (function `Self -> false | _ -> true) back_edges.(i)
         in
+        (* Sorted adjacency: the match discovery order decides which
+           mapping represents each canon and thus what traces record. *)
         match anchor with
-        | Some (`Out v) -> Digraph.iter_pred try_candidate g m.(v)
-        | Some (`In v) -> Digraph.iter_succ try_candidate g m.(v)
+        | Some (`Out v) -> Digraph.iter_pred_sorted try_candidate g m.(v)
+        | Some (`In v) -> Digraph.iter_succ_sorted try_candidate g m.(v)
         | Some `Self | None ->
             List.iter try_candidate (Digraph.nodes_with_label g sym_of.(u))
       end

@@ -23,6 +23,10 @@ type canon = node list * (node * node) list
 
 val canon_of : Pattern.t -> mapping -> canon
 
+val compare_canon : canon -> canon -> int
+(** Total order on canons (lexicographic, [Int.compare]-based); the
+    sanctioned comparator for producing sorted match lists. *)
+
 val iter_matches :
   ?allowed:(node -> bool) ->
   Ig_graph.Digraph.t ->

@@ -22,7 +22,10 @@ let kdist_one g ~keyword ~bound =
     let w = Queue.pop q in
     let d = (Hashtbl.find kd w).dist in
     if d < bound then
-      Digraph.iter_pred
+      (* Order-free: BFS distances are layer-determined, and the
+         discovery-order [next] pointer is rewritten deterministically
+         below. *)
+      (Digraph.iter_pred [@lint.allow "D2"])
         (fun v ->
           if not (Hashtbl.mem kd v) then begin
             Hashtbl.replace kd v { dist = d + 1; next = w };
@@ -30,12 +33,14 @@ let kdist_one g ~keyword ~bound =
           end)
         g w
   done;
-  (* Deterministic tie-break: smallest-id successor on a shortest path. *)
-  Hashtbl.iter
+  (* Deterministic tie-break: smallest-id successor on a shortest path.
+     Order-free: each entry is rewritten from its own successors only. *)
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun v e ->
       if e.dist > 0 then begin
         let best = ref max_int in
-        Digraph.iter_succ
+        (* Order-free: keeps the minimum over all successors. *)
+        (Digraph.iter_succ [@lint.allow "D2"])
           (fun w ->
             match Hashtbl.find_opt kd w with
             | Some e' when e'.dist = e.dist - 1 && w < !best -> best := w
@@ -60,10 +65,14 @@ let roots_of_kdist kd =
       (fun i m ->
         if Hashtbl.length m < Hashtbl.length kd.(!smallest) then smallest := i)
       kd;
-    Hashtbl.fold
-      (fun v _ acc ->
-        if Array.for_all (fun m -> Hashtbl.mem m v) kd then v :: acc else acc)
-      kd.(!smallest) []
+    let roots =
+      (* Order-free: the result is sorted below. *)
+      (Hashtbl.fold [@lint.allow "D2"])
+        (fun v _ acc ->
+          if Array.for_all (fun m -> Hashtbl.mem m v) kd then v :: acc else acc)
+        kd.(!smallest) []
+    in
+    List.sort Int.compare roots
   end
 
 let run g q = roots_of_kdist (kdist_maps g q)

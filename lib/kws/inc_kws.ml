@@ -16,7 +16,7 @@ module PQ = Ig_graph.Pqueue.Make (struct
   type t = int
 
   let equal = Int.equal
-  let hash = Hashtbl.hash
+  let hash = Int.hash
 end)
 
 type t = {
@@ -76,10 +76,15 @@ let remove_entry t i v =
     if c = m t - 1 then note_lose t v
   end
 
+let compare_rewired (v1, i1) (v2, i2) =
+  match Int.compare v1 v2 with 0 -> Int.compare i1 i2 | c -> c
+
 let flush_delta t =
-  let added = Hashtbl.fold (fun v () acc -> v :: acc) t.gained [] in
-  let removed = Hashtbl.fold (fun v () acc -> v :: acc) t.lost [] in
-  let rewired = Hashtbl.fold (fun e () acc -> e :: acc) t.rewired [] in
+  let added = List.map fst (Obs.sorted_bindings ~compare:Int.compare t.gained) in
+  let removed = List.map fst (Obs.sorted_bindings ~compare:Int.compare t.lost) in
+  let rewired =
+    List.map fst (Obs.sorted_bindings ~compare:compare_rewired t.rewired)
+  in
   Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
@@ -110,7 +115,8 @@ let process_keyword t i ~dels ~inss =
       t.st.affected <- t.st.affected + 1;
       Obs.incr t.obs Obs.K.aff;
       Tracer.aff_enter t.trace ~node:v ~rule:Tracer.Kws_next_on_deleted;
-      Digraph.iter_pred
+      (* Sorted so the aff_enter order (stack discipline) is seed-stable. *)
+      Digraph.iter_pred_sorted
         (fun u ->
           match Hashtbl.find_opt kd u with
           | Some e when e.Batch.next = v && not (Hashtbl.mem affected u) ->
@@ -119,12 +125,14 @@ let process_keyword t i ~dels ~inss =
         t.g v
     end
   done;
-  (* Phase 2 (lines 7-9): potential distances from unaffected successors. *)
+  (* Phase 2 (lines 7-9): potential distances from unaffected successors.
+     Iterated in node order: the frontier_expand events and the queue
+     insertion sequence must not depend on the hash seed. *)
   let q = PQ.create () in
-  Hashtbl.iter
-    (fun v () ->
+  List.iter
+    (fun (v, ()) ->
       let best = ref max_int in
-      Digraph.iter_succ
+      (Digraph.iter_succ [@lint.allow "D2"])
         (fun w ->
           Obs.incr t.obs Obs.K.edges_relaxed;
           if not (Hashtbl.mem affected w) then
@@ -138,7 +146,7 @@ let process_keyword t i ~dels ~inss =
         Tracer.frontier_expand t.trace ~node:v;
         PQ.insert q v !best
       end)
-    affected;
+    (Obs.sorted_bindings ~compare:Int.compare affected);
   (* Insertions with unaffected endpoints (IncKWS phase (b)). *)
   List.iter
     (fun (v, w) ->
@@ -173,7 +181,8 @@ let process_keyword t i ~dels ~inss =
         if not stale then begin
           (* The witness successor on a shortest path, smallest id. *)
           let next = ref (-1) in
-          Digraph.iter_succ
+          (* Order-free: keeps the minimum over all successors. *)
+          (Digraph.iter_succ [@lint.allow "D2"])
             (fun w ->
               Obs.incr t.obs Obs.K.edges_relaxed;
               match Hashtbl.find_opt kd w with
@@ -202,7 +211,8 @@ let process_keyword t i ~dels ~inss =
           Hashtbl.replace t.rewired (v, i) ();
           t.st.settled <- t.st.settled + 1;
           Obs.incr t.obs Obs.K.cert_rewrites;
-          Digraph.iter_pred
+          (* Sorted: emits frontier_expand and orders queue insertions. *)
+          Digraph.iter_pred_sorted
             (fun u ->
               Obs.incr t.obs Obs.K.edges_relaxed;
               let cand = d + 1 in
@@ -311,13 +321,14 @@ let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g q =
   in
   Array.iter
     (fun map ->
-      Hashtbl.iter
+      (* Order-free: commutative counting. *)
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun v _ ->
           Hashtbl.replace t.mcount v
             (1 + Option.value ~default:0 (Hashtbl.find_opt t.mcount v)))
         map)
     kd;
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun _ c -> if c = Array.length kd then t.n_matches <- t.n_matches + 1)
     t.mcount;
   t
@@ -338,14 +349,15 @@ let set_bound t b' =
     for i = 0 to m t - 1 do
       let kd = t.kd.(i) in
       let q = PQ.create () in
-      (* Breakpoints: frontier entries at the old bound. *)
-      Hashtbl.iter
-        (fun v e ->
+      (* Breakpoints: frontier entries at the old bound, in node order so
+         queue insertions are seed-stable. *)
+      List.iter
+        (fun (v, e) ->
           if e.Batch.dist = b then
-            Digraph.iter_pred
+            Digraph.iter_pred_sorted
               (fun u -> if not (Hashtbl.mem kd u) then PQ.insert q u (b + 1))
               t.g v)
-        kd;
+        (Obs.sorted_bindings ~compare:Int.compare kd);
       t.q <- { t.q with Batch.bound = b' };
       let rec fix () =
         match PQ.pull_min q with
@@ -353,7 +365,8 @@ let set_bound t b' =
         | Some (v, d) ->
             if not (Hashtbl.mem kd v) then begin
               let next = ref (-1) in
-              Digraph.iter_succ
+              (* Order-free: keeps the minimum over all successors. *)
+              (Digraph.iter_succ [@lint.allow "D2"])
                 (fun w ->
                   match Hashtbl.find_opt kd w with
                   | Some e when e.Batch.dist = d - 1 && (!next = -1 || w < !next)
@@ -364,7 +377,7 @@ let set_bound t b' =
               assert (!next >= 0);
               set_entry t i v { Batch.dist = d; next = !next };
               t.st.settled <- t.st.settled + 1;
-              Digraph.iter_pred
+              Digraph.iter_pred_sorted
                 (fun u ->
                   if d + 1 <= b' && not (Hashtbl.mem kd u) then
                     PQ.insert q u (d + 1))
@@ -379,7 +392,8 @@ let set_bound t b' =
     Array.iteri
       (fun i kd ->
         let doomed =
-          Hashtbl.fold
+          (* Order-free: removals commute; the delta is flushed sorted. *)
+          (Hashtbl.fold [@lint.allow "D2"])
             (fun v e acc -> if e.Batch.dist > b' then v :: acc else acc)
             kd []
         in
@@ -389,9 +403,10 @@ let set_bound t b' =
   flush_delta t
 
 let match_roots t =
-  Hashtbl.fold
-    (fun v c acc -> if c = m t then v :: acc else acc)
-    t.mcount []
+  (* User-visible answer: ascending node order. *)
+  List.filter_map
+    (fun (v, c) -> if c = m t then Some v else None)
+    (Obs.sorted_bindings ~compare:Int.compare t.mcount)
 
 let n_matches t = t.n_matches
 
@@ -411,7 +426,8 @@ let check_invariants t =
       if Hashtbl.length fm <> Hashtbl.length im then
         fail "keyword %d: %d entries, expected %d" i (Hashtbl.length im)
           (Hashtbl.length fm);
-      Hashtbl.iter
+      (* Order-free: pure membership checks. *)
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun v (fe : Batch.entry) ->
           match Hashtbl.find_opt im v with
           | None -> fail "keyword %d: node %d missing" i v
@@ -432,7 +448,8 @@ let check_invariants t =
     fresh;
   (* Root bookkeeping. *)
   let count = ref 0 in
-  Hashtbl.iter
+  (* Order-free: commutative counting. *)
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun v c ->
       let real =
         Array.fold_left
@@ -452,15 +469,12 @@ let corrupt_certificate_for_testing t =
     if i >= m t then false
     else
       let kd = t.kd.(i) in
-      match
-        Hashtbl.fold
-          (fun v e acc -> match acc with None -> Some (v, e) | some -> some)
-          kd None
-      with
-      | Some (v, e) ->
+      (* Deterministic victim: the smallest node id with an entry. *)
+      match Obs.sorted_bindings ~compare:Int.compare kd with
+      | (v, e) :: _ ->
           Hashtbl.replace kd v { e with Batch.dist = e.Batch.dist + 1 };
           true
-      | None -> go (i + 1)
+      | [] -> go (i + 1)
   in
   go 0
 

@@ -103,19 +103,28 @@ let accepts a word =
 
 let alphabet a =
   let syms = Hashtbl.create 8 in
+  (* Order-free: fills a membership set; the result is sorted below. *)
   Array.iter
-    (fun tbl -> Hashtbl.iter (fun sym _ -> Hashtbl.replace syms sym ()) tbl)
+    (fun tbl ->
+      (Hashtbl.iter [@lint.allow "D2"])
+        (fun sym _ -> Hashtbl.replace syms sym ())
+        tbl)
     a.delta;
-  Hashtbl.fold (fun sym () acc -> sym :: acc) syms []
+  List.sort Int.compare
+    ((Hashtbl.fold [@lint.allow "D2"]) (fun sym () acc -> sym :: acc) syms [])
 
 let pp ppf a =
   Format.fprintf ppf "@[<v>nfa: %d states@," a.n_states;
   for s = 0 to a.n_states - 1 do
     Format.fprintf ppf "  %d%s:" s (if a.accepting.(s) then " (accept)" else "");
-    Hashtbl.iter
-      (fun sym targets ->
+    List.iter
+      (fun (sym, targets) ->
         List.iter (fun p -> Format.fprintf ppf " -%d->%d" sym p) targets)
-      a.delta.(s);
+      (List.sort
+         (fun (s1, _) (s2, _) -> Int.compare s1 s2)
+         ((Hashtbl.fold [@lint.allow "D2"])
+            (fun sym ts acc -> (sym, ts) :: acc)
+            a.delta.(s) []));
     Format.fprintf ppf "@,"
   done;
   Format.fprintf ppf "@]"

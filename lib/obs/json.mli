@@ -1,0 +1,40 @@
+(** Minimal JSON emitter/parser: enough to write and re-read BENCH
+    reports, trace exports and lint reports without depending on yojson
+    (not in the build image). The emitter always produces valid JSON; the
+    parser accepts standard JSON with the one restriction that [\u]
+    escapes decode only the ASCII range. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize. [indent] pretty-prints with two-space indentation; keys
+    and array elements keep their construction order, so emission is
+    deterministic. NaN/infinite floats emit as [null] (JSON has neither)
+    — a null timing is visibly wrong rather than silently absorbed. *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** Parse a complete JSON document. @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+val parse : string -> (t, string) result
+(** Exception-free [parse_exn]. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value bound to [k] when [j] is an object. *)
+
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option
+
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int] (JSON numbers are one type). *)

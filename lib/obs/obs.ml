@@ -63,6 +63,16 @@ let slot tbl name =
       Hashtbl.replace tbl name r;
       r
 
+(* The one sanctioned way to turn a hash table into an ordered view: fold
+   the bindings out (order irrelevant — sorting erases it) and sort by
+   key. Everything user-visible that reads a Hashtbl goes through here so
+   the output cannot depend on the process hash seed. *)
+let sorted_bindings ~compare tbl =
+  let items =
+    (Hashtbl.fold [@lint.allow "D2"]) (fun k v acc -> (k, v) :: acc) tbl []
+  in
+  List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) items
+
 (* ---- canonical counter names -------------------------------------------- *)
 
 module K = struct
@@ -224,8 +234,7 @@ let histogram t name =
 
 let histograms = function
   | Noop -> []
-  | Reg r ->
-      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.histos [])
+  | Reg r -> sorted_bindings ~compare:String.compare r.histos
 
 (* Per-batch latency and allocation accounting: time [f] on the monotonic
    clock and record the duration into the [K.apply_latency] histogram,
@@ -257,7 +266,9 @@ let with_apply t f =
 (* ---- snapshots -------------------------------------------------------------- *)
 
 let sorted_items deref tbl =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, deref v) :: acc) tbl [])
+  List.map
+    (fun (k, v) -> (k, deref v))
+    (sorted_bindings ~compare:String.compare tbl)
 
 let counters = function
   | Noop -> []

@@ -43,6 +43,14 @@ val create : unit -> t
 val enabled : t -> bool
 (** [false] exactly on {!noop}. *)
 
+val sorted_bindings :
+  compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings of a hash table sorted by key under [compare] — the
+    sanctioned way to iterate a [Hashtbl] wherever the visit order could
+    reach certificates, trace events or user-visible output, since raw
+    [Hashtbl.iter]/[fold] order varies with the process hash seed. The
+    relative order of duplicate-key bindings is unspecified. *)
+
 val now_ns : unit -> int64
 (** Monotonic timestamp, nanoseconds. Differences only. *)
 

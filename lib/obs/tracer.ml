@@ -187,7 +187,7 @@ let rule_histogram snap =
           Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
       | _ -> ())
     snap.entries;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  Obs.sorted_bindings ~compare:String.compare tbl
 
 (* Per-field counts of certificate rewrites. *)
 let field_histogram snap =
@@ -200,4 +200,4 @@ let field_histogram snap =
             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl field))
       | _ -> ())
     snap.entries;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  Obs.sorted_bindings ~compare:String.compare tbl

@@ -1,0 +1,110 @@
+(** Structured event tracing with AFF provenance.
+
+    Where the {!Obs} registry answers "how much work did an engine do"
+    (|AFF|, cert_rewrites, queue_pushes), the tracer answers "why": every
+    node that enters AFF is stamped with the {e rule} of the paper's
+    pseudocode that put it there, every certificate rewrite records the
+    field and its before/after values, and frontier expansions record the
+    propagation order. Events land in a bounded ring buffer: when it
+    wraps, the oldest events are dropped and counted, so tracing a long
+    soak costs O(capacity) memory and the tail — the part that explains a
+    failure — is always retained.
+
+    Sequence numbers are a logical clock (no wall-clock reads), so a
+    trace of a seeded run is bit-for-bit deterministic. *)
+
+(** Which case of the paper's algorithms put a node into AFF. *)
+type rule =
+  | Kws_next_on_deleted
+      (** IncKWS− (Fig. 3 lines 1-6): the node's chosen next-pointer path
+          ran through a deleted edge. *)
+  | Kws_shorter_kdist
+      (** IncKWS+ (Fig. 1): an insertion (or a re-settled successor)
+          offers a strictly shorter keyword distance. *)
+  | Rpq_support_lost
+      (** IncRPQ identAff: a product-graph marking lost its last
+          distance-(d-1) predecessor. *)
+  | Rpq_dist_decrease
+      (** IncRPQ settle: a product-graph key gained a marking (or a
+          shorter one) through an inserted edge. *)
+  | Scc_local_tarjan
+      (** IncSCC−: member of a component re-certified by a local Tarjan
+          run (possible split). *)
+  | Scc_rank_swap
+      (** IncSCC+ (Fig. 7 lines 4-9): component inside the affected rank
+          region of an order-violating insertion. *)
+  | Sim_support_zero  (** IncSim cascade: a pair's support hit zero. *)
+  | Sim_revalidated
+      (** IncSim insertion: a candidate pair re-entered the greatest
+          simulation after revalidation. *)
+  | Iso_match_broken
+      (** IncISO step (1): a match subgraph used a deleted edge. *)
+  | Iso_ball_rematch
+      (** IncISO steps (2)-(3): a fresh match found by the localized VF2
+          run over the d_Q-ball of the inserted edges. *)
+
+val rule_name : rule -> string
+val all_rules : rule list
+
+type event =
+  | Aff_enter of { node : int; rule : rule }
+      (** [node] enters AFF because [rule] fired. For SCC rank events the
+          "node" is a component id (the unit the rank order lives on). *)
+  | Cert_rewrite of {
+      node : int;
+      field : string;
+      before : string;
+      after : string;
+    }
+  | Frontier_expand of { node : int }
+      (** [node] enqueued for (re)settling — one event per queue push. *)
+  | Span_begin of string
+  | Span_end of string
+
+type entry = { seq : int; event : event }
+
+type t
+(** A tracer handle; {!noop} costs one branch per probe. *)
+
+val noop : t
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** Ring-buffered tracer. @raise Invalid_argument when [capacity <= 0]. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Events lost to ring wrap-around since the last {!clear}. *)
+
+val emit : t -> event -> unit
+val aff_enter : t -> node:int -> rule:rule -> unit
+
+val cert_rewrite :
+  t -> node:int -> field:string -> before:string -> after:string -> unit
+
+val frontier_expand : t -> node:int -> unit
+val span_begin : t -> string -> unit
+val span_end : t -> string -> unit
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Balanced span even on exceptions. *)
+
+val clear : t -> unit
+(** Forget buffered events. The logical clock keeps running, so
+    snapshots taken across a clear still order globally. *)
+
+type snapshot = { entries : entry list;  (** oldest first *) drops : int }
+
+val empty_snapshot : snapshot
+val snapshot : t -> snapshot
+val events : t -> entry list
+
+val rule_histogram : snapshot -> (string * int) list
+(** Per-rule counts of the [Aff_enter] events, sorted by rule name: the
+    provenance histogram [incgraph explain] prints per update. *)
+
+val field_histogram : snapshot -> (string * int) list
+(** Per-field counts of certificate rewrites, sorted by field name. *)

@@ -28,12 +28,14 @@ let source_marks p u =
 let matches_from p u =
   let marks = source_marks p u in
   let hit = Hashtbl.create 16 in
-  Hashtbl.iter
+  (* Order-free: fills a membership set; the result is sorted below. *)
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun k _ ->
       if Pgraph.is_accepting p k then
         Hashtbl.replace hit (Pgraph.node_of p k) ())
     marks;
-  Hashtbl.fold (fun v () acc -> v :: acc) hit []
+  let vs = (Hashtbl.fold [@lint.allow "D2"]) (fun v () acc -> v :: acc) hit [] in
+  List.sort Int.compare vs
 
 let run g a =
   let p = Pgraph.make g a in

@@ -14,7 +14,7 @@ module PQ = Ig_graph.Pqueue.Make (struct
   type t = int
 
   let equal = Int.equal
-  let hash = Hashtbl.hash
+  let hash = Int.hash
 end)
 
 (* Per-source state: the pmark_e distances, plus the per-node count of
@@ -97,9 +97,12 @@ let remove_entry t u ss k =
     end
   end
 
+let compare_pair (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 let flush_delta t =
-  let added = Hashtbl.fold (fun m () acc -> m :: acc) t.gained [] in
-  let removed = Hashtbl.fold (fun m () acc -> m :: acc) t.lost [] in
+  let added = List.map fst (Obs.sorted_bindings ~compare:compare_pair t.gained) in
+  let removed = List.map fst (Obs.sorted_bindings ~compare:compare_pair t.lost) in
   Obs.note_changed_output t.obs (List.length added + List.length removed);
   Hashtbl.reset t.gained;
   Hashtbl.reset t.lost;
@@ -161,10 +164,11 @@ let process_source t u ss ~dels ~inss =
     end
   done;
   (* Phase B: remove affected entries; enqueue their potential distances
-     computed from unaffected in-neighbors. *)
+     computed from unaffected in-neighbors. Iterated in key order: the
+     frontier_expand events and queue insertions must be seed-stable. *)
   let q = PQ.create () in
-  Hashtbl.iter
-    (fun k () ->
+  List.iter
+    (fun (k, ()) ->
       let best = ref max_int in
       Pgraph.iter_pred p k (fun k' ->
           Obs.incr t.obs Obs.K.edges_relaxed;
@@ -178,7 +182,7 @@ let process_source t u ss ~dels ~inss =
         Tracer.frontier_expand t.trace ~node:(Pgraph.node_of p k);
         PQ.insert q k !best
       end)
-    affected;
+    (Obs.sorted_bindings ~compare:Int.compare affected);
   (* Phase C: insertions with unaffected tails. *)
   List.iter
     (fun (v, w) ->
@@ -262,7 +266,9 @@ let process_all t ~dels ~inss =
     match Hashtbl.find_opt t.at_node v with
     | None -> ()
     | Some h ->
-        Hashtbl.iter
+        (* Order-free: fills per-source buckets; the per-source update
+           lists keep the caller's update order. *)
+        (Hashtbl.iter [@lint.allow "D2"])
           (fun u _ ->
             let dels, inss =
               match Hashtbl.find_opt per_source u with
@@ -278,10 +284,11 @@ let process_all t ~dels ~inss =
   in
   List.iter (note `D) dels;
   List.iter (note `I) inss;
-  Hashtbl.iter
-    (fun u (dels, inss) ->
+  (* Sources in ascending order: their processing order is trace-visible. *)
+  List.iter
+    (fun (u, (dels, inss)) ->
       process_source t u (Hashtbl.find t.srcs u) ~dels:!dels ~inss:!inss)
-    per_source
+    (Obs.sorted_bindings ~compare:Int.compare per_source)
 
 let apply_effective t updates =
   let g = graph t in
@@ -368,7 +375,10 @@ let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g a =
   List.iter
     (fun u ->
       let ss = register_source t u in
-      Hashtbl.iter (fun k d -> add_entry t u ss k d) (Batch.source_marks p u))
+      (* Order-free: entry insertions commute; nothing is traced here. *)
+      (Hashtbl.iter [@lint.allow "D2"])
+        (fun k d -> add_entry t u ss k d)
+        (Batch.source_marks p u))
     (Pgraph.sources p);
   Hashtbl.reset t.gained;
   t
@@ -377,10 +387,13 @@ let create ?grouped ?obs ?trace g q =
   init ?grouped ?obs ?trace g (Nfa.compile (Digraph.interner g) q)
 
 let matches t =
-  Hashtbl.fold
-    (fun u ss acc ->
-      Hashtbl.fold (fun v _ acc -> (u, v) :: acc) ss.accs acc)
-    t.srcs []
+  (* User-visible answer: lexicographic (source, target) order. *)
+  List.concat_map
+    (fun (u, ss) ->
+      List.map
+        (fun (v, _) -> (u, v))
+        (Obs.sorted_bindings ~compare:Int.compare ss.accs))
+    (Obs.sorted_bindings ~compare:Int.compare t.srcs)
 
 let n_matches t = t.n_matches
 
@@ -399,13 +412,13 @@ let check_invariants t =
       if reg <> src then fail "source registration wrong at node %d" u)
     g;
   let total = ref 0 in
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun u ss ->
       let fresh = Batch.source_marks t.p u in
       if Hashtbl.length fresh <> Hashtbl.length ss.marks then
         fail "source %d: %d marks, expected %d" u (Hashtbl.length ss.marks)
           (Hashtbl.length fresh);
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun k d ->
           match Hashtbl.find_opt ss.marks k with
           | Some d' when d' = d -> ()
@@ -414,10 +427,10 @@ let check_invariants t =
           | None -> fail "source %d: key %d missing" u k)
         fresh;
       (* Accepting counts consistent with marks. *)
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun v c ->
           let real = ref 0 in
-          Hashtbl.iter
+          (Hashtbl.iter [@lint.allow "D2"])
             (fun k _ ->
               if Pgraph.node_of t.p k = v && Pgraph.is_accepting t.p k then
                 incr real)
@@ -430,9 +443,9 @@ let check_invariants t =
     fail "n_matches %d, expected %d" t.n_matches !total;
   (* The node -> sources index counts exactly the live entries. *)
   let expect = Hashtbl.create 64 in
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun u ss ->
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun k _ ->
           let key = (Pgraph.node_of t.p k, u) in
           Hashtbl.replace expect key
@@ -440,9 +453,9 @@ let check_invariants t =
         ss.marks)
     t.srcs;
   let total_idx = ref 0 in
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun v h ->
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun u c ->
           incr total_idx;
           if Option.value ~default:0 (Hashtbl.find_opt expect (v, u)) <> c

@@ -149,11 +149,14 @@ let retire_comp t c =
   else Hashtbl.replace t.died c (members_to_list ms)
 
 let flush_delta t =
-  let removed = Hashtbl.fold (fun _ ms acc -> ms :: acc) t.died [] in
+  (* Component-id order: the delta lists are consumer-visible. *)
+  let removed =
+    List.map snd (Obs.sorted_bindings ~compare:Int.compare t.died)
+  in
   let added =
-    Hashtbl.fold
-      (fun c () acc -> members_to_list (members_of t c) :: acc)
-      t.born []
+    List.map
+      (fun (c, ()) -> members_to_list (members_of t c))
+      (Obs.sorted_bindings ~compare:Int.compare t.born)
   in
   Obs.note_changed_output t.obs (List.length removed + List.length added);
   Hashtbl.reset t.died;
@@ -194,21 +197,26 @@ let refresh_cert t c =
 
 (* Rebuild contracted adjacency after replacing [c] by [parts]. *)
 let rewire_split t c parts =
-  (* Purge the external references to [c]. *)
-  Hashtbl.iter (fun d _ -> Hashtbl.remove (adj t.cpred d) c) (adj t.csucc c);
-  Hashtbl.iter (fun a _ -> Hashtbl.remove (adj t.csucc a) c) (adj t.cpred c);
+  (* Purge the external references to [c]. Order-free: removals commute. *)
+  (Hashtbl.iter [@lint.allow "D2"])
+    (fun d _ -> Hashtbl.remove (adj t.cpred d) c)
+    (adj t.csucc c);
+  (Hashtbl.iter [@lint.allow "D2"])
+    (fun a _ -> Hashtbl.remove (adj t.csucc a) c)
+    (adj t.cpred c);
   let part_set = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace part_set p ()) parts;
   List.iter
     (fun p ->
       iter_members
         (fun m ->
-          Digraph.iter_succ
+          (* Order-free: counter accumulation commutes. *)
+          (Digraph.iter_succ [@lint.allow "D2"])
             (fun w ->
               let d = comp_of t w in
               if d <> p then cadd t p d 1)
             t.g m;
-          Digraph.iter_pred
+          (Digraph.iter_pred [@lint.allow "D2"])
             (fun a ->
               let ca = comp_of t a in
               (* Part-to-part edges were counted from the successor side. *)
@@ -278,7 +286,8 @@ let merge_comps t cs =
   in
   List.iter
     (fun c ->
-      Hashtbl.iter
+      (* Order-free: counter merges and removals commute. *)
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun d cnt ->
           Hashtbl.remove (adj t.cpred d) c;
           if not (Hashtbl.mem in_set d) then begin
@@ -286,7 +295,7 @@ let merge_comps t cs =
             bump (adj t.cpred d) big cnt
           end)
         (adj t.csucc c);
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun a cnt ->
           Hashtbl.remove (adj t.csucc a) c;
           if not (Hashtbl.mem in_set a) then begin
@@ -321,8 +330,9 @@ let cclosure t ~dir ~keep start =
   while not (Stack.is_empty stack) do
     let c = Stack.pop stack in
     Obs.incr t.obs Obs.K.nodes_visited;
-    Hashtbl.iter
-      (fun d _ ->
+    (* Sorted: the expansion order reaches the trace via frontier_expand. *)
+    List.iter
+      (fun (d, _) ->
         Obs.incr t.obs Obs.K.edges_relaxed;
         if (not (Hashtbl.mem seen d)) && keep d then begin
           Hashtbl.replace seen d ();
@@ -331,7 +341,7 @@ let cclosure t ~dir ~keep start =
           Tracer.frontier_expand t.trace ~node:d;
           Stack.push d stack
         end)
-      (adj tbl c)
+      (Obs.sorted_bindings ~compare:Int.compare (adj tbl c))
   done;
   seen
 
@@ -359,7 +369,9 @@ let resolve_violation t cu cv =
   let affl =
     cclosure t ~dir:`B ~keep:(fun c -> Rank.value t.rank c < r_cv) cu
   in
-  let elements tbl = Hashtbl.fold (fun c () acc -> c :: acc) tbl [] in
+  let elements tbl =
+    List.map fst (Obs.sorted_bindings ~compare:Int.compare tbl)
+  in
   let by_old_rank cs =
     List.sort
       (fun a b -> Int.compare (Rank.value t.rank a) (Rank.value t.rank b))
@@ -373,14 +385,14 @@ let resolve_violation t cu cv =
   Obs.add t.obs "rank_moves" region_size;
   Obs.incr t.obs "violations";
   if Tracer.enabled t.trace then begin
-    Hashtbl.iter
-      (fun c () -> Tracer.aff_enter t.trace ~node:c ~rule:Tracer.Scc_rank_swap)
-      affr;
-    Hashtbl.iter
-      (fun c () ->
+    List.iter
+      (fun c -> Tracer.aff_enter t.trace ~node:c ~rule:Tracer.Scc_rank_swap)
+      (elements affr);
+    List.iter
+      (fun c ->
         if not (Hashtbl.mem affr c) then
           Tracer.aff_enter t.trace ~node:c ~rule:Tracer.Scc_rank_swap)
-      affl
+      (elements affl)
   end;
   let direct_back_edge = Hashtbl.mem (adj t.csucc cv) cu in
   if inter = [] && not direct_back_edge then begin
@@ -399,7 +411,9 @@ let resolve_violation t cu cv =
         ~after:(Printf.sprintf "cycle-merged region=%d" region_size);
     let merge_set = Hashtbl.create 8 in
     List.iter (fun c -> Hashtbl.replace merge_set c ()) (cu :: cv :: inter);
-    let to_merge = Hashtbl.fold (fun c () acc -> c :: acc) merge_set [] in
+    let to_merge =
+      List.map fst (Obs.sorted_bindings ~compare:Int.compare merge_set)
+    in
     let pool =
       elements affr
       @ List.filter (fun c -> not (Hashtbl.mem affr c)) (elements affl)
@@ -537,8 +551,9 @@ let apply_batch_grouped t updates =
         Hashtbl.replace del_by_comp c ((u, v) :: cur)
       end)
     !intra_del;
-  Hashtbl.iter
-    (fun c dels ->
+  (* Sorted: recert order reaches the trace via local Tarjan's aff_enter. *)
+  List.iter
+    (fun (c, dels) ->
       let survives =
         t.cfg.delete_fast_path
         && (not (Hashtbl.mem t.dirty c))
@@ -549,7 +564,7 @@ let apply_batch_grouped t updates =
         Obs.add t.obs "fast_deletes" (List.length dels)
       end
       else recert_or_split t c)
-    del_by_comp;
+    (Obs.sorted_bindings ~compare:Int.compare del_by_comp);
   (* (b) Inter-component phase: deletions first, then insertions one at a
      time (each restores the rank invariant before the next is added). *)
   List.iter
@@ -637,7 +652,10 @@ let init ?(config = inc_config) ?(obs = Obs.noop) ?(trace = Tracer.noop) g =
   t
 
 let components t =
-  Hashtbl.fold (fun _ ms acc -> members_to_list ms :: acc) t.members []
+  (* Component-id order: user-visible. *)
+  List.map
+    (fun (_, ms) -> members_to_list ms)
+    (Obs.sorted_bindings ~compare:Int.compare t.members)
 
 let n_components t = Hashtbl.length t.members
 
@@ -649,8 +667,8 @@ let same_component t u v = comp_of t u = comp_of t v
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in
-  (* Ownership tables agree. *)
-  Hashtbl.iter
+  (* Ownership tables agree. Order-free: each check is independent. *)
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun c ms ->
       iter_members
         (fun v ->
@@ -667,7 +685,9 @@ let check_invariants t =
     t.g;
   (* Components match a from-scratch run. *)
   let norm comps =
-    List.sort compare (List.map (fun ms -> List.sort compare ms) comps)
+    List.sort
+      (List.compare Int.compare)
+      (List.map (fun ms -> List.sort Int.compare ms) comps)
   in
   if norm (components t) <> norm (Tarjan.scc t.g) then
     fail "components disagree with batch Tarjan";
@@ -680,15 +700,15 @@ let check_invariants t =
         Hashtbl.replace expected (cu, cv)
           (1 + Option.value ~default:0 (Hashtbl.find_opt expected (cu, cv))))
     t.g;
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun c h ->
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun d cnt ->
           if Option.value ~default:0 (Hashtbl.find_opt expected (c, d)) <> cnt
           then fail "csucc counter (%d,%d)=%d wrong" c d cnt)
         h)
     t.csucc;
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun (c, d) cnt ->
       let got =
         Option.value ~default:0 (Hashtbl.find_opt (adj t.csucc c) d)
@@ -700,9 +720,9 @@ let check_invariants t =
       if got' <> cnt then fail "cpred missing (%d,%d)" c d)
     expected;
   (* Ranks strictly decrease along contracted edges. *)
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun c h ->
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun d _ ->
           if Rank.compare_items t.rank c d <= 0 then
             fail "rank invariant violated on (%d,%d)" c d)
@@ -711,9 +731,7 @@ let check_invariants t =
 
 let pp_debug ppf t =
   Format.fprintf ppf "@[<v>components:@,";
-  let comps =
-    List.sort compare (Hashtbl.fold (fun c _ acc -> c :: acc) t.members [])
-  in
+  let comps = List.map fst (Obs.sorted_bindings ~compare:Int.compare t.members) in
   List.iter
     (fun c ->
       Format.fprintf ppf "  comp %d rank=%d members=[%s] succ=[%s]@," c
@@ -721,9 +739,9 @@ let pp_debug ppf t =
         (String.concat ";"
            (List.map string_of_int (members_to_list (members_of t c))))
         (String.concat ";"
-           (Hashtbl.fold
-              (fun d cnt acc -> Printf.sprintf "%d(x%d)" d cnt :: acc)
-              (adj t.csucc c) [])))
+           (List.map
+              (fun (d, cnt) -> Printf.sprintf "%d(x%d)" d cnt)
+              (Obs.sorted_bindings ~compare:Int.compare (adj t.csucc c)))))
     comps;
   Format.fprintf ppf "@]"
 
@@ -731,7 +749,7 @@ let contracted t =
   let comps =
     List.sort
       (fun a b -> Int.compare (Rank.value t.rank a) (Rank.value t.rank b))
-      (Hashtbl.fold (fun c _ acc -> c :: acc) t.members [])
+      (List.map fst (Obs.sorted_bindings ~compare:Int.compare t.members))
   in
   let gc = Ig_graph.Digraph.create ~hint:(List.length comps) () in
   let index = Hashtbl.create 64 in
@@ -744,10 +762,11 @@ let contracted t =
            members_to_list (members_of t c))
          comps)
   in
-  Hashtbl.iter
+  (* Order-free: edge-set insertion commutes; gc iteration is sorted. *)
+  (Hashtbl.iter [@lint.allow "D2"])
     (fun c h ->
       let cid = Hashtbl.find index c in
-      Hashtbl.iter
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun d _ ->
           ignore (Ig_graph.Digraph.add_edge gc cid (Hashtbl.find index d)))
         h)

@@ -27,7 +27,10 @@ let edge_index p =
 
 let support_count g sets u' v =
   let c = ref 0 in
-  Digraph.iter_succ (fun w -> if Hashtbl.mem sets.(u') w then incr c) g v;
+  (* Order-free: counting commutes. *)
+  (Digraph.iter_succ [@lint.allow "D2"])
+    (fun w -> if Hashtbl.mem sets.(u') w then incr c)
+    g v;
   !c
 
 let prune p g sets =
@@ -38,7 +41,9 @@ let prune p g sets =
   (* Initial counts; pairs with an unsupported pattern edge die first. *)
   Array.iteri
     (fun u set ->
-      Hashtbl.iter
+      (* Order-free: the greatest fixpoint is unique, so the worklist
+         order cannot change the pruned result. *)
+      (Hashtbl.iter [@lint.allow "D2"])
         (fun v () ->
           List.iter
             (fun (e, u') ->
@@ -55,7 +60,8 @@ let prune p g sets =
       (* Predecessors relying on (u, v) as support lose one unit. *)
       List.iter
         (fun (e, t) ->
-          Digraph.iter_pred
+          (* Order-free: see the fixpoint note above. *)
+          (Digraph.iter_pred [@lint.allow "D2"])
             (fun pnode ->
               if Hashtbl.mem sets.(t) pnode then begin
                 match Hashtbl.find_opt cnt.(e) pnode with
@@ -72,11 +78,15 @@ let prune p g sets =
 
 let run p g = prune p g (candidates p g)
 
+(* Lexicographic (u, v) order: the pair list is user-visible. *)
 let pairs rel =
-  let acc = ref [] in
-  Array.iteri
-    (fun u set -> Hashtbl.iter (fun v () -> acc := (u, v) :: !acc) set)
-    rel;
-  !acc
+  List.concat
+    (Array.to_list
+       (Array.mapi
+          (fun u set ->
+            List.map
+              (fun (v, ()) -> (u, v))
+              (Ig_obs.Obs.sorted_bindings ~compare:Int.compare set))
+          rel))
 
 let mem rel u v = Hashtbl.mem rel.(u) v

@@ -68,8 +68,10 @@ let sample_connected_nodes rng g n =
     let consider w =
       if not (Hashtbl.mem chosen w) then candidates := w :: !candidates
     in
-    Digraph.iter_succ consider g v;
-    Digraph.iter_pred consider g v;
+    (* Sorted: the candidate order feeds a seeded random pick, which must
+       be reproducible across hash seeds. *)
+    Digraph.iter_succ_sorted consider g v;
+    Digraph.iter_pred_sorted consider g v;
     match !candidates with
     | [] -> frontier := List.filteri (fun i _ -> i <> idx) !frontier
     | cs ->
@@ -78,7 +80,9 @@ let sample_connected_nodes rng g n =
         frontier := w :: !frontier
   done;
   if Hashtbl.length chosen = n then
-    Some (Hashtbl.fold (fun v () acc -> v :: acc) chosen [])
+    Some
+      (List.sort Int.compare
+         ((Hashtbl.fold [@lint.allow "D2"]) (fun v () acc -> v :: acc) chosen []))
   else None
 
 let iso ~rng g ~nodes ~edges =
@@ -93,7 +97,8 @@ let iso ~rng g ~nodes ~edges =
           let induced = ref [] in
           List.iteri
             (fun i v ->
-              Digraph.iter_succ
+              (* Sorted: the induced-edge order shapes the sampled pattern. *)
+              Digraph.iter_succ_sorted
                 (fun w ->
                   match Hashtbl.find_opt index w with
                   | Some j -> induced := (i, j) :: !induced
@@ -141,7 +146,15 @@ let iso ~rng g ~nodes ~edges =
             let labels = List.map (fun v -> Digraph.label_name g v) vs in
             Some
               (Ig_iso.Pattern.create ~labels
-                 ~edges:(Hashtbl.fold (fun e () acc -> e :: acc) keep []))
+                 ~edges:
+                   (List.sort
+                      (fun (a1, b1) (a2, b2) ->
+                        match Int.compare a1 a2 with
+                        | 0 -> Int.compare b1 b2
+                        | c -> c)
+                      ((Hashtbl.fold [@lint.allow "D2"])
+                         (fun e () acc -> e :: acc)
+                         keep [])))
           end
     in
     let rec try_n k = if k = 0 then None else

@@ -333,6 +333,51 @@ let test_reaches () =
     (Traverse.reaches ~within:(fun v -> v <> 3) g 0 4);
   check Alcotest.bool "self" true (Traverse.reaches g 2 2)
 
+(* ---- sorted iteration ------------------------------------------------------ *)
+
+(* The determinism contract behind lint rule D2: the sorted adjacency
+   iterators visit neighbors in ascending node order, independent of
+   insertion order and of the process hash seed. *)
+let test_iter_sorted () =
+  let g = Digraph.create () in
+  for _ = 0 to 5 do
+    ignore (Digraph.add_node g "x")
+  done;
+  List.iter
+    (fun (u, v) -> ignore (Digraph.add_edge g u v))
+    [ (0, 4); (0, 1); (0, 5); (0, 2); (3, 0); (1, 0); (5, 0) ];
+  let succs () =
+    let acc = ref [] in
+    Digraph.iter_succ_sorted (fun v -> acc := v :: !acc) g 0;
+    List.rev !acc
+  in
+  check (Alcotest.list Alcotest.int) "ascending successors" [ 1; 2; 4; 5 ]
+    (succs ());
+  let preds = ref [] in
+  Digraph.iter_pred_sorted (fun u -> preds := u :: !preds) g 0;
+  check (Alcotest.list Alcotest.int) "ascending predecessors" [ 1; 3; 5 ]
+    (List.rev !preds);
+  (* stays sorted across deletions *)
+  ignore (Digraph.remove_edge g 0 4);
+  check (Alcotest.list Alcotest.int) "ascending after delete" [ 1; 2; 5 ]
+    (succs ())
+
+let test_edges_deterministic () =
+  let g = Digraph.create () in
+  for _ = 0 to 3 do
+    ignore (Digraph.add_node g "x")
+  done;
+  List.iter
+    (fun (u, v) -> ignore (Digraph.add_edge g u v))
+    [ (2, 1); (0, 3); (0, 1); (3, 2) ];
+  let es = ref [] in
+  Digraph.iter_edges (fun u v -> es := (u, v) :: !es) g;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "edges in ascending (src, dst) order"
+    [ (0, 1); (0, 3); (2, 1); (3, 2) ]
+    (List.rev !es)
+
 (* ---- Io -------------------------------------------------------------------- *)
 
 let test_io_roundtrip () =
@@ -406,6 +451,13 @@ let () =
             test_bfs_backward_bounded;
           Alcotest.test_case "ball" `Quick test_ball;
           Alcotest.test_case "reaches" `Quick test_reaches;
+        ] );
+      ( "sorted iteration",
+        [
+          Alcotest.test_case "iter_succ/pred_sorted ascend" `Quick
+            test_iter_sorted;
+          Alcotest.test_case "iter_edges is insertion-independent" `Quick
+            test_edges_deterministic;
         ] );
       ( "io",
         [

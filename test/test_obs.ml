@@ -477,6 +477,68 @@ let test_explain_rendering () =
   check Alcotest.bool "empty snapshot renders" true
     (contains (TE.explain_to_string T.empty_snapshot) "0 event(s)")
 
+(* ---- sorted_bindings / trace determinism ------------------------------------ *)
+
+let test_sorted_bindings () =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace tbl k (k * 10)) [ 5; 1; 9; 3; 7 ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "ascending by key"
+    [ (1, 10); (3, 30); (5, 50); (7, 70); (9, 90) ]
+    (O.sorted_bindings ~compare:Int.compare tbl);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "empty table" []
+    (O.sorted_bindings ~compare:Int.compare (Hashtbl.create 4));
+  let s = Hashtbl.create 4 in
+  List.iter (fun k -> Hashtbl.replace s k ()) [ "b"; "a"; "c" ];
+  check
+    (Alcotest.list Alcotest.string)
+    "string keys" [ "a"; "b"; "c" ]
+    (List.map fst (O.sorted_bindings ~compare:String.compare s))
+
+(* Regression for the sorted-iteration fixes in Inc_kws / Inc_rpq: two
+   independent traced runs of the same seeded session must export
+   byte-identical Chrome JSON. In-process both runs share one hash seed;
+   the cross-seed version of this check (fresh OCAMLRUNPARAM=R seed per
+   process, all five engines) is the @trace-determinism alias in
+   bench/dune. *)
+let test_trace_byte_equality () =
+  let labels = [ "a"; "b"; "c"; "d"; "a"; "b"; "c"; "d" ] in
+  let edges =
+    [ (0, 1); (1, 2); (2, 3); (4, 5); (5, 6); (1, 5); (6, 3); (3, 0) ]
+  in
+  let updates =
+    Digraph.
+      [ Delete (1, 2); Insert (2, 5); Delete (3, 0); Insert (0, 4) ]
+  in
+  let kws_trace () =
+    let tr = T.create () in
+    let t =
+      Ig_kws.Inc_kws.init ~trace:tr
+        (labeled_graph labels edges)
+        { Ig_kws.Batch.keywords = [ "a"; "d" ]; bound = 3 }
+    in
+    ignore (Ig_kws.Inc_kws.apply_batch t updates);
+    J.to_string ~indent:true (TE.to_chrome ~name:"IncKWS" (T.snapshot tr))
+  in
+  let rpq_trace () =
+    let tr = T.create () in
+    let q =
+      match Ig_nfa.Regex.parse "a . b* . c" with
+      | Ok q -> q
+      | Error e -> Alcotest.fail ("bad test regex: " ^ e)
+    in
+    let t = Ig_rpq.Inc_rpq.create ~trace:tr (labeled_graph labels edges) q in
+    ignore (Ig_rpq.Inc_rpq.apply_batch t updates);
+    J.to_string ~indent:true (TE.to_chrome ~name:"IncRPQ" (T.snapshot tr))
+  in
+  check Alcotest.string "IncKWS traces byte-identical" (kws_trace ())
+    (kws_trace ());
+  check Alcotest.string "IncRPQ traces byte-identical" (rpq_trace ())
+    (rpq_trace ())
+
 (* ---- histograms and with_apply ----------------------------------------------- *)
 
 module H = Ig_obs.Histogram
@@ -654,6 +716,13 @@ let () =
           Alcotest.test_case "validator rejects garbage" `Quick
             test_validator_rejects_garbage;
           Alcotest.test_case "explain rendering" `Quick test_explain_rendering;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "sorted_bindings ascends" `Quick
+            test_sorted_bindings;
+          Alcotest.test_case "KWS/RPQ traces byte-identical across runs"
+            `Quick test_trace_byte_equality;
         ] );
       ( "histograms",
         [
