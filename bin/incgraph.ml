@@ -10,6 +10,10 @@
      trace      dump a Chrome trace-event file of one traced session
      explain    per-update AFF provenance with the paper-rule histogram
      lint       determinism & instrumentation linter over the repo sources
+     journal    inspect or grow a journaled session directory (WAL + snapshots)
+     replay     crash-recover a journaled session (newest snapshot + tail)
+     snapshot   write a certificate snapshot at the current tip
+     undo       roll back the last N update batches (compensating append)
 
    Examples:
      incgraph generate -p dbpedia -s 0.1 -o kg.txt
@@ -21,7 +25,11 @@
      incgraph bench -g kg.txt --size 500 --json scc
      incgraph stats -g kg.txt --json kws -b 2 actor award
      incgraph trace -g kg.txt --batches 2 -o TRACE_scc.json scc
-     incgraph explain --gadget 4 *)
+     incgraph explain --gadget 4
+     incgraph journal sess rpq 'l1 . l2*' --init -g kg.txt --apply +3-7
+     incgraph replay sess --check
+     incgraph undo sess -k 2
+     incgraph replay sess --as-of 1 *)
 
 open Cmdliner
 
@@ -76,17 +84,44 @@ let generate_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~doc:"Output file." ~docv:"FILE")
   in
-  let run profile scale out seed =
-    let rng = Random.State.make [| seed |] in
-    let g = Core.Workload.Profiles.instantiate ~scale ~rng profile in
-    Core.Io.save out g;
-    Format.printf "wrote %s: %d nodes, %d edges, %d labels@." out
-      (Core.Digraph.n_nodes g) (Core.Digraph.n_edges g)
-      (Core.Interner.size (Core.Digraph.interner g))
+  let gadget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gadget" ]
+          ~doc:
+            "Write the Fig. 9 unboundedness gadget with N-node cycles \
+             instead of a profile graph, printing its RPQ query and the \
+             Δ1/Δ2 bridge insertions."
+          ~docv:"N")
+  in
+  let run profile scale out seed gadget =
+    match gadget with
+    | Some cycle ->
+        let gd = Core.Theory.Gadget.make ~cycle in
+        Core.Io.save out gd.Core.Theory.Gadget.graph;
+        let edge = function
+          | Core.Digraph.Insert (u, v) | Core.Digraph.Delete (u, v) ->
+              Printf.sprintf "+%d-%d" u v
+        in
+        Format.printf "wrote %s: Fig. 9 gadget, %d nodes, %d edges@." out
+          (Core.Digraph.n_nodes gd.Core.Theory.Gadget.graph)
+          (Core.Digraph.n_edges gd.Core.Theory.Gadget.graph);
+        Format.printf "query: %s@.Δ1: %s  Δ2: %s@."
+          (Core.Regex.to_string gd.Core.Theory.Gadget.query)
+          (edge gd.Core.Theory.Gadget.delta1)
+          (edge gd.Core.Theory.Gadget.delta2)
+    | None ->
+        let rng = Random.State.make [| seed |] in
+        let g = Core.Workload.Profiles.instantiate ~scale ~rng profile in
+        Core.Io.save out g;
+        Format.printf "wrote %s: %d nodes, %d edges, %d labels@." out
+          (Core.Digraph.n_nodes g) (Core.Digraph.n_edges g)
+          (Core.Interner.size (Core.Digraph.interner g))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic labeled graph.")
-    Term.(const run $ profile $ scale $ out $ seed_arg)
+    Term.(const run $ profile $ scale $ out $ seed_arg $ gadget)
 
 (* ---- query class arguments ------------------------------------------------ *)
 
@@ -875,12 +910,16 @@ let fuzz_cmd =
             | Error f ->
                 failed := true;
                 Format.printf " FAILED@.%a@." C.Harness.pp_failure f;
-                let gpath, upath, tpath =
-                  C.Harness.save_failure ~dir:out_dir ~base:s.C.Scenarios.base f
+                let gpath, upath, tpath, jpath =
+                  C.Harness.save_failure ~dir:out_dir ~base:s.C.Scenarios.base
+                    ~qspec:s.C.Scenarios.qspec f
                 in
-                Format.printf "artifacts: %s, %s%s@." gpath upath
+                Format.printf "artifacts: %s, %s%s%s@." gpath upath
                   (match tpath with
                   | Some p -> ", " ^ p
+                  | None -> "")
+                  (match jpath with
+                  | Some p -> ", " ^ p ^ " (incgraph replay)"
                   | None -> ""))
           scenarios;
         if !failed then `Error (false, "fuzzing found failures (see above)")
@@ -896,6 +935,367 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ algo $ steps $ nodes $ edges $ labels $ out_dir $ seed_arg))
+
+(* ---- journal / replay / snapshot / undo ------------------------------------ *)
+
+module J = Core.Journal
+
+let jdigest = J.Log.digest_hex
+
+let oracle_of_qspec g = function
+  | Qkws q -> Core.Check.Adapters.kws g q
+  | Qrpq q -> Core.Check.Adapters.rpq g q
+  | Qscc -> Core.Check.Adapters.scc g
+  | Qiso (labels, edges) ->
+      Core.Check.Adapters.iso g (Core.Iso.Pattern.create ~labels ~edges)
+  | Qsim (labels, edges) ->
+      Core.Check.Adapters.sim g (Core.Iso.Pattern.create ~labels ~edges)
+
+(* A store client over a packed differential oracle: journal ops re-enter
+   the engine as unit updates; snapshots carry the engine's canonical
+   answer digest and SNAPSHOTTABLE certificate dump. *)
+let client_of_oracle inst =
+  let module O = Core.Check.Oracle in
+  {
+    J.Store.apply =
+      (fun ops -> List.iter (O.apply inst) (J.Log.updates_of_ops ops));
+    graph = (fun () -> O.graph inst);
+    answer_digest = (fun () -> jdigest (O.answer inst));
+    certs = (fun () -> O.cert_snapshot inst);
+  }
+
+let dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Journaled session directory.")
+
+let update_of_spec s =
+  let bad () = Error (Printf.sprintf "bad update %S (want +U-V or -U-V)" s) in
+  if String.length s < 2 then bad ()
+  else
+    match s.[0] with
+    | ('+' | '-') as sign -> (
+        match
+          String.split_on_char '-' (String.sub s 1 (String.length s - 1))
+        with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some u, Some v ->
+                Ok
+                  (if sign = '+' then Core.Digraph.Insert (u, v)
+                   else Core.Digraph.Delete (u, v))
+            | _ -> bad ())
+        | _ -> bad ())
+    | _ -> bad ()
+
+(* Recover a store from DIR: plan, rebuild the engine the header names
+   over the planned snapshot's graph (falling back to a graph-only client
+   when the header's query class is not buildable), replay, attach. *)
+let attach_store ?as_of ?(from_scratch = false) ~dir () =
+  match J.Store.plan ?as_of ~from_scratch ~dir () with
+  | Error e -> Error e
+  | Ok plan ->
+      let base = J.Snapshot.graph plan.J.Store.snapshot in
+      let h = plan.J.Store.header in
+      let inst =
+        match
+          qspec_of ~cls:h.J.Record.cls ~bound:h.J.Record.bound
+            ~args:h.J.Record.qargs
+        with
+        | Ok spec -> Some (oracle_of_qspec base spec)
+        | Error _ -> None
+      in
+      let client =
+        match inst with
+        | Some i -> client_of_oracle i
+        | None -> J.Store.graph_client base
+      in
+      (match J.Store.attach ~dir ~plan ~client () with
+      | Error e -> Error e
+      | Ok store -> Ok (store, plan, inst))
+
+let kind_str = function
+  | J.Record.Do -> "do"
+  | J.Record.Undo k -> Printf.sprintf "undo(%d)" k
+
+let short d = if String.length d >= 8 then String.sub d 0 8 else d
+
+let journal_cmd =
+  let init_flag =
+    Arg.(
+      value & flag
+      & info [ "init" ]
+          ~doc:
+            "Create DIR with snapshot-0 of the graph given by $(b,-g) and a \
+             fresh journal headed by CLASS/QUERY.")
+  in
+  let graph_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "g"; "graph" ] ~doc:"Base graph file (with --init)." ~docv:"FILE")
+  in
+  let cls_opt =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"CLASS" ~doc:"Query class (with --init).")
+  in
+  let qargs_opt = Arg.(value & pos_right 1 string [] & info [] ~docv:"QUERY") in
+  let apply_specs =
+    Arg.(
+      value & opt_all string []
+      & info [ "apply" ]
+          ~doc:"Journal and apply one update batch, e.g. +3-7 or -0-2. \
+                Repeatable; each spec is its own batch."
+          ~docv:"SPEC")
+  in
+  let repair_flag =
+    Arg.(
+      value & flag
+      & info [ "repair" ] ~doc:"Truncate a torn journal tail in place.")
+  in
+  let chop =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chop" ]
+          ~doc:
+            "Crash injection for tests: cut N bytes off the journal file."
+          ~docv:"N")
+  in
+  let apply_all store specs =
+    List.fold_left
+      (fun acc spec ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+            match update_of_spec spec with
+            | Error e -> Error e
+            | Ok u ->
+                (match J.Store.do_batch store [ u ] with
+                | None -> Format.printf "%s: no-op, not journaled@." spec
+                | Some b ->
+                    Format.printf "%s: seq=%d graph=%s@." spec b.J.Record.seq
+                      (short (J.Store.digest store)));
+                Ok ()))
+      (Ok ()) specs
+  in
+  let run dir init graph_file cls bound qargs specs repair chop =
+    if init then
+      match (graph_file, cls) with
+      | None, _ | _, None ->
+          `Error (false, "--init needs -g FILE and a CLASS argument")
+      | Some file, Some cls -> (
+          match qspec_of ~cls ~bound ~args:qargs with
+          | Error e -> `Error (false, e)
+          | Ok spec ->
+              let g = Core.Io.load file in
+              let inst = oracle_of_qspec g spec in
+              let header =
+                {
+                  J.Record.version = J.Record.format_version;
+                  cls;
+                  bound;
+                  qargs;
+                  base_digest = J.Log.graph_digest g;
+                }
+              in
+              let store =
+                J.Store.init ~dir ~header ~client:(client_of_oracle inst) ()
+              in
+              Format.printf "initialized %s: class %s, graph %s@." dir cls
+                (short (J.Store.digest store));
+              let r = apply_all store specs in
+              J.Store.close store;
+              (match r with Ok () -> `Ok () | Error e -> `Error (false, e)))
+    else if repair then
+      match J.Log.repair ~path:(J.Store.journal_path ~dir) with
+      | Error e -> `Error (false, e)
+      | Ok 0 ->
+          Format.printf "journal clean, nothing to repair@.";
+          `Ok ()
+      | Ok n ->
+          Format.printf "dropped %d torn byte(s)@." n;
+          `Ok ()
+    else
+      match chop with
+      | Some n ->
+          J.Log.chop ~path:(J.Store.journal_path ~dir) n;
+          Format.printf "chopped %d byte(s) off %s@." n
+            (J.Store.journal_path ~dir);
+          `Ok ()
+      | None -> (
+          if specs <> [] then
+            match attach_store ~dir () with
+            | Error e -> `Error (false, e)
+            | Ok (store, _, _) ->
+                let r = apply_all store specs in
+                J.Store.close store;
+                (match r with Ok () -> `Ok () | Error e -> `Error (false, e))
+          else
+            (* Inspect: read-only scan, no engine rebuild. *)
+            match J.Log.scan ~path:(J.Store.journal_path ~dir) with
+            | Error e -> `Error (false, e)
+            | Ok s ->
+                let h = s.J.Log.header in
+                Format.printf "journal %s: class %s, bound %d, base %s@." dir
+                  h.J.Record.cls h.J.Record.bound
+                  (short h.J.Record.base_digest);
+                List.iter
+                  (fun (b : J.Record.batch) ->
+                    Format.printf "  seq=%d %s %d op(s): %s@." b.J.Record.seq
+                      (kind_str b.J.Record.kind)
+                      (List.length b.J.Record.ops)
+                      (String.concat ", "
+                         (List.map J.Record.op_to_string b.J.Record.ops)))
+                  s.J.Log.batches;
+                (match s.J.Log.tail with
+                | J.Log.Clean ->
+                    Format.printf "  tail: clean (%d committed batch(es))@."
+                      (List.length s.J.Log.batches)
+                | J.Log.Torn { offset; dropped; reason } ->
+                    Format.printf
+                      "  tail: TORN at byte %d (%d byte(s) dropped): %s@."
+                      offset dropped reason);
+                (match J.Snapshot.list_seqs ~dir with
+                | [] -> Format.printf "  snapshots: none@."
+                | seqs ->
+                    Format.printf "  snapshots: %s@."
+                      (String.concat ", " (List.map string_of_int seqs)));
+                `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect or grow a journaled session directory: a write-ahead \
+          journal of atomic graph ops (length-prefixed, checksummed, \
+          torn-tail detecting) plus certificate snapshots.")
+    Term.(
+      ret
+        (const run $ dir_arg $ init_flag $ graph_file $ cls_opt $ bound_arg
+       $ qargs_opt $ apply_specs $ repair_flag $ chop))
+
+let as_of_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "as-of" ]
+        ~doc:
+          "Recover to this sequence number instead of the tip (time travel; \
+           the store attaches read-only)."
+        ~docv:"N")
+
+let replay_cmd =
+  let from_scratch =
+    Arg.(
+      value & flag
+      & info [ "from-scratch" ]
+          ~doc:"Ignore newer snapshots and replay the whole journal from \
+                snapshot-0.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After recovery, run the differential oracle: certificate \
+             invariants plus incremental-vs-batch answer equality.")
+  in
+  let run dir as_of from_scratch check =
+    match attach_store ?as_of ~from_scratch ~dir () with
+    | Error e -> `Error (false, e)
+    | Ok (store, plan, inst) -> (
+        if plan.J.Store.dropped > 0 then
+          Format.printf "torn tail: dropped %d byte(s)@." plan.J.Store.dropped;
+        Format.printf
+          "recovered %s from snapshot-%d: replayed %d batch(es) to seq %d%s@."
+          dir plan.J.Store.snapshot.J.Snapshot.seq
+          (List.length plan.J.Store.replay)
+          plan.J.Store.cut
+          (if J.Store.writable store then "" else " (read-only)");
+        Format.printf "graph digest %s@." (J.Store.digest store);
+        let finish r =
+          J.Store.close store;
+          r
+        in
+        match (check, inst) with
+        | false, _ -> finish (`Ok ())
+        | true, None ->
+            finish
+              (`Error
+                 (false, "--check: header names no buildable query class"))
+        | true, Some i -> (
+            match Core.Check.Oracle.check i with
+            | () ->
+                Format.printf "oracle agrees: answer digest %s@."
+                  (jdigest (Core.Check.Oracle.answer i));
+                finish (`Ok ())
+            | exception Core.Check.Oracle.Check_failed msg ->
+                finish (`Error (false, "oracle check failed: " ^ msg))))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Crash-recover a journaled session: pick the newest intact \
+          snapshot, rebuild the engine, replay the journal tail with \
+          per-batch digest verification.")
+    Term.(ret (const run $ dir_arg $ as_of_arg $ from_scratch $ check_flag))
+
+let undo_cmd =
+  let k_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~doc:"Number of trailing batches to roll back." ~docv:"N")
+  in
+  let run dir k =
+    match attach_store ~dir () with
+    | Error e -> `Error (false, e)
+    | Ok (store, _, inst) -> (
+        match J.Store.undo store ~k with
+        | Error e ->
+            J.Store.close store;
+            `Error (false, e)
+        | Ok b ->
+            Format.printf "undid %d batch(es): seq=%d graph=%s@." k
+              b.J.Record.seq
+              (short (J.Store.digest store));
+            (match inst with
+            | Some i -> (
+                match Core.Check.Oracle.check i with
+                | () -> Format.printf "oracle agrees after undo@."
+                | exception Core.Check.Oracle.Check_failed msg ->
+                    Format.printf "WARNING: oracle disagrees: %s@." msg)
+            | None -> ());
+            J.Store.close store;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "undo"
+       ~doc:
+         "Roll back the last N update batches by appending a compensating \
+          batch (undo of an undo is redo); the rolled-back graph digest is \
+          verified byte-for-byte against the journaled pre-state.")
+    Term.(ret (const run $ dir_arg $ k_arg))
+
+let snapshot_cmd =
+  let run dir =
+    match attach_store ~dir () with
+    | Error e -> `Error (false, e)
+    | Ok (store, _, _) ->
+        let p = J.Store.snapshot store in
+        Format.printf "wrote %s at seq %d@." p (J.Store.tip store);
+        J.Store.close store;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Write a certificate snapshot (graph, canonical answer digest and \
+          the engine's SNAPSHOTTABLE certificate dump) at the current tip, \
+          bounding future recovery replay.")
+    Term.(ret (const run $ dir_arg))
 
 let () =
   let info =
@@ -916,4 +1316,8 @@ let () =
             trace_cmd;
             explain_cmd;
             lint_cmd;
+            journal_cmd;
+            replay_cmd;
+            snapshot_cmd;
+            undo_cmd;
           ]))

@@ -55,6 +55,7 @@ module Kws = struct
   let check_invariants = I.check_invariants
   let obs = I.obs
   let trace = I.trace
+  let cert_snapshot = I.cert_snapshot
 end
 
 (* ---- RPQ ---------------------------------------------------------------- *)
@@ -78,6 +79,7 @@ module Rpq = struct
   let check_invariants t = I.check_invariants t.s
   let obs t = I.obs t.s
   let trace t = I.trace t.s
+  let cert_snapshot t = I.cert_snapshot t.s
 end
 
 (* ---- SCC ---------------------------------------------------------------- *)
@@ -98,6 +100,7 @@ module Scc = struct
   let check_invariants = I.check_invariants
   let obs = I.obs
   let trace = I.trace
+  let cert_snapshot = I.cert_snapshot
 end
 
 (* ---- Sim ---------------------------------------------------------------- *)
@@ -120,6 +123,7 @@ module Sim = struct
   let check_invariants = I.check_invariants
   let obs = I.obs
   let trace = I.trace
+  let cert_snapshot = I.cert_snapshot
 end
 
 (* ---- ISO ---------------------------------------------------------------- *)
@@ -142,6 +146,7 @@ module Iso = struct
   let check_invariants = I.check_invariants
   let obs = I.obs
   let trace = I.trace
+  let cert_snapshot = I.cert_snapshot
 end
 
 (* ---- packed constructors ------------------------------------------------ *)

@@ -48,3 +48,7 @@ val of_kws : Ig_kws.Inc_kws.t -> Oracle.packed
 val canon_nodes : int list -> string
 val canon_pairs : (int * int) list -> string
 val canon_comps : int list list -> string
+
+val canon_mappings : Ig_iso.Pattern.t -> Ig_iso.Vf2.mapping list -> string
+(** ISO's canonical answer form (sorted match subgraphs) — exposed so the
+    CLI's journal replay can digest ISO answers identically. *)

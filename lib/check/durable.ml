@@ -1,0 +1,239 @@
+module Digraph = Ig_graph.Digraph
+module Tracer = Ig_obs.Tracer
+module Record = Ig_journal.Record
+module Journal = Ig_journal.Journal
+module Store = Ig_journal.Store
+
+let digest_hex = Journal.digest_hex
+
+(* Wrap a packed oracle as a store client: effective ops re-enter the
+   engine as unit updates, so the journal sees exactly what the engine
+   applied. *)
+let client_of inst =
+  {
+    Store.apply =
+      (fun ops ->
+        List.iter (Oracle.apply inst) (Journal.updates_of_ops ops));
+    graph = (fun () -> Oracle.graph inst);
+    answer_digest = (fun () -> digest_hex (Oracle.answer inst));
+    certs = (fun () -> Oracle.cert_snapshot inst);
+  }
+
+let header_of (s : Scenarios.t) =
+  let cls, bound, qargs = s.Scenarios.qspec in
+  {
+    Record.version = Record.format_version;
+    cls;
+    bound;
+    qargs;
+    base_digest = Journal.graph_digest s.Scenarios.base;
+  }
+
+(* Only the files the store itself writes; anything else in [dir] is the
+   caller's business. *)
+let clean_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if
+          String.equal f "journal.igj"
+          || String.starts_with ~prefix:"snapshot-" f
+        then Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+[@@lint.allow "D3"]
+
+let trace_digest inst =
+  let tr = Oracle.trace inst in
+  if not (Tracer.enabled tr) then "-"
+  else digest_hex (Ig_obs.Trace_export.explain_to_string (Tracer.snapshot tr))
+
+let clear_trace inst =
+  let tr = Oracle.trace inst in
+  if Tracer.enabled tr then Tracer.clear tr
+
+let update_str = function
+  | Digraph.Insert (u, v) -> Printf.sprintf "+%d-%d" u v
+  | Digraph.Delete (u, v) -> Printf.sprintf "-%d-%d" u v
+
+exception Fuzz_failed of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Fuzz_failed m)) fmt
+
+let run ~scenario ~dir ~steps ~seed ?(emit = fun _ -> ()) () =
+  let rng = Random.State.make [| seed; 0xd0ab1e |] in
+  clean_dir dir;
+  let inst = ref (scenario.Scenarios.make ()) in
+  let store =
+    ref (Store.init ~dir ~header:(header_of scenario) ~client:(client_of !inst) ())
+  in
+  let stream =
+    ref
+      (Stream.create ~rng ~focus:scenario.Scenarios.focus
+         (Oracle.graph !inst))
+  in
+  let check ~step ~ctx =
+    match Oracle.check !inst with
+    | () -> ()
+    | exception Oracle.Check_failed msg ->
+        failf "step %d (%s): oracle disagreement: %s" step ctx msg
+  in
+  let state_str () =
+    Printf.sprintf "tip=%d graph=%s answer=%s" (Store.tip !store)
+      (Store.digest !store)
+      (digest_hex (Oracle.answer !inst))
+  in
+  (* Drop the live engine, rebuild from scratch and replay the whole
+     committed journal through it — the crash-recovery path. *)
+  let recover ~step ~ctx =
+    Store.close !store;
+    let fresh = scenario.Scenarios.make () in
+    let client = client_of fresh in
+    match Store.plan ~from_scratch:true ~dir () with
+    | Error e -> failf "step %d (%s): recovery plan: %s" step ctx e
+    | Ok plan -> (
+        match Store.attach ~dir ~plan ~client () with
+        | Error e -> failf "step %d (%s): recovery attach: %s" step ctx e
+        | Ok st ->
+            inst := fresh;
+            store := st;
+            stream :=
+              Stream.create ~rng ~focus:scenario.Scenarios.focus
+                (Oracle.graph fresh);
+            plan)
+  in
+  let do_one ~step =
+    let u = Stream.next !stream in
+    clear_trace !inst;
+    match Store.do_batch !store [ u ] with
+    | None -> emit (Printf.sprintf "step %d do %s noop" step (update_str u))
+    | Some b ->
+        check ~step ~ctx:"do";
+        emit
+          (Printf.sprintf "step %d do %s seq=%d %s trace=%s" step
+             (update_str u) b.Record.seq (state_str ()) (trace_digest !inst))
+  in
+  let do_undo_pair ~step =
+    let pre_g = Store.digest !store in
+    let pre_a = digest_hex (Oracle.answer !inst) in
+    let u = Stream.next !stream in
+    clear_trace !inst;
+    match Store.do_batch !store [ u ] with
+    | None ->
+        emit (Printf.sprintf "step %d pair %s noop" step (update_str u))
+    | Some _ -> (
+        let do_trace = trace_digest !inst in
+        clear_trace !inst;
+        match Store.undo !store ~k:1 with
+        | Error e -> failf "step %d (pair): undo: %s" step e
+        | Ok _ ->
+            let post_g = Store.digest !store in
+            let post_a = digest_hex (Oracle.answer !inst) in
+            if not (String.equal pre_g post_g) then
+              failf
+                "step %d (pair): undo(do(G)) graph digest %s, pre-do was %s"
+                step post_g pre_g;
+            if not (String.equal pre_a post_a) then
+              failf
+                "step %d (pair): undo(do(G)) answer digest %s, pre-do was %s"
+                step post_a pre_a;
+            check ~step ~ctx:"pair";
+            emit
+              (Printf.sprintf
+                 "step %d pair %s graph=%s answer=%s dotrace=%s undotrace=%s"
+                 step (update_str u) post_g post_a do_trace
+                 (trace_digest !inst)))
+  in
+  let undo_k ~step =
+    let tip = Store.tip !store in
+    if tip = 0 then emit (Printf.sprintf "step %d undo skip (empty)" step)
+    else begin
+      let k = min tip (1 + Random.State.int rng 3) in
+      clear_trace !inst;
+      match Store.undo !store ~k with
+      | Error e -> failf "step %d (undo %d): %s" step k e
+      | Ok b ->
+          check ~step ~ctx:"undo";
+          emit
+            (Printf.sprintf "step %d undo k=%d seq=%d %s trace=%s" step k
+               b.Record.seq (state_str ()) (trace_digest !inst))
+    end
+  in
+  let snapshot ~step =
+    ignore (Store.snapshot !store);
+    emit (Printf.sprintf "step %d snapshot seq=%d" step (Store.tip !store))
+  in
+  let recover_clean ~step =
+    let plan = recover ~step ~ctx:"clean" in
+    check ~step ~ctx:"clean recover";
+    emit
+      (Printf.sprintf "step %d recover clean replayed=%d %s" step
+         (List.length plan.Store.replay)
+         (state_str ()))
+  in
+  (* Journal a batch without applying it (crash between the write-ahead
+     append and the engine apply), then truncate mid-record: recovery must
+     drop the torn record as a unit and agree with the oracle. *)
+  let recover_torn ~step =
+    let before = Store.tip !store in
+    let u = Stream.next !stream in
+    Store.append_unapplied_for_crash_testing !store [ u ];
+    if Store.tip !store = before then begin
+      (* Ineffective update: nothing journaled, recover cleanly instead. *)
+      let plan = recover ~step ~ctx:"torn(noop)" in
+      check ~step ~ctx:"torn recover";
+      emit
+        (Printf.sprintf "step %d recover torn-noop replayed=%d %s" step
+           (List.length plan.Store.replay)
+           (state_str ()))
+    end
+    else begin
+      Store.close !store;
+      (* The framed record is >= 21 bytes, so chopping at most 8 tears
+         exactly the unapplied tail record. *)
+      Journal.chop ~path:(Store.journal_path ~dir) (1 + Random.State.int rng 8);
+      let fresh = scenario.Scenarios.make () in
+      let client = client_of fresh in
+      match Store.plan ~from_scratch:true ~dir () with
+      | Error e -> failf "step %d (torn): recovery plan: %s" step e
+      | Ok plan -> (
+          if plan.Store.dropped = 0 then
+            failf "step %d (torn): truncation not detected" step;
+          if plan.Store.tip <> before then
+            failf "step %d (torn): tip %d after tear, expected %d" step
+              plan.Store.tip before;
+          match Store.attach ~dir ~plan ~client () with
+          | Error e -> failf "step %d (torn): recovery attach: %s" step e
+          | Ok st ->
+              inst := fresh;
+              store := st;
+              stream :=
+                Stream.create ~rng ~focus:scenario.Scenarios.focus
+                  (Oracle.graph fresh);
+              check ~step ~ctx:"torn recover";
+              emit
+                (Printf.sprintf
+                   "step %d recover torn dropped=%d replayed=%d %s" step
+                   plan.Store.dropped
+                   (List.length plan.Store.replay)
+                   (state_str ())))
+    end
+  in
+  match
+    emit
+      (Printf.sprintf "init %s %s" scenario.Scenarios.name (state_str ()));
+    check ~step:0 ~ctx:"init";
+    for step = 1 to steps do
+      let r = Random.State.float rng 1.0 in
+      if r < 0.62 then do_one ~step
+      else if r < 0.74 then do_undo_pair ~step
+      else if r < 0.80 then undo_k ~step
+      else if r < 0.86 then snapshot ~step
+      else if r < 0.93 then recover_clean ~step
+      else recover_torn ~step
+    done;
+    Store.close !store
+  with
+  | () -> Ok steps
+  | exception Fuzz_failed msg -> Error msg
+  | exception Oracle.Check_failed msg -> Error msg
+  | exception Failure msg -> Error msg

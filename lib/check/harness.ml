@@ -125,12 +125,34 @@ let pp_failure ppf f =
             (fun (r, c) -> Format.fprintf ppf "@,  %-22s %6d" r c)
             hist)
 
-let save_failure ~dir ~base f =
+(* The shrunk reproducer as a journaled session directory: snapshot-0 of
+   the base graph plus one Do batch per update, so the failure replays
+   through `incgraph replay` with the same torn-tail/digest checking as
+   any production journal. *)
+let save_journal ~dir ~stem ~base ~qspec f =
+  let jdir = Filename.concat dir (stem ^ ".journal") in
+  let cls, bound, qargs = qspec in
+  let header =
+    {
+      Ig_journal.Record.version = Ig_journal.Record.format_version;
+      cls;
+      bound;
+      qargs;
+      base_digest = Ig_journal.Journal.graph_digest base;
+    }
+  in
+  let client = Ig_journal.Store.graph_client (Digraph.copy base) in
+  let store = Ig_journal.Store.init ~dir:jdir ~header ~client () in
+  List.iter (fun u -> ignore (Ig_journal.Store.do_batch store [ u ])) f.shrunk;
+  Ig_journal.Store.close store;
+  jdir
+
+let save_failure ~dir ~base ?qspec f =
   let stem = Printf.sprintf "fuzz-%s-seed%d" f.algo f.seed in
   let gpath = Filename.concat dir (stem ^ ".graph") in
   let upath = Filename.concat dir (stem ^ ".updates") in
   Ig_graph.Io.save gpath base;
-  let oc = open_out upath in
+  let oc = (open_out [@lint.allow "D3"]) upath in
   let line = function
     | Digraph.Insert (u, v) -> Printf.fprintf oc "+ %d %d\n" u v
     | Digraph.Delete (u, v) -> Printf.fprintf oc "- %d %d\n" u v
@@ -153,4 +175,7 @@ let save_failure ~dir ~base f =
         Ig_obs.Trace_export.write_chrome ~path:p ~name:f.algo snap;
         Some p
   in
-  (gpath, upath, tpath)
+  let jpath =
+    Option.map (fun qspec -> save_journal ~dir ~stem ~base ~qspec f) qspec
+  in
+  (gpath, upath, tpath, jpath)

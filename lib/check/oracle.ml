@@ -11,6 +11,7 @@ module type ORACLE = sig
   val check_invariants : t -> unit
   val obs : t -> Ig_obs.Obs.t
   val trace : t -> Ig_obs.Tracer.t
+  val cert_snapshot : t -> (string * string) list
 end
 
 type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
@@ -23,6 +24,7 @@ let recompute (Packed ((module O), t)) = O.recompute t
 let check_invariants (Packed ((module O), t)) = O.check_invariants t
 let obs (Packed ((module O), t)) = O.obs t
 let trace (Packed ((module O), t)) = O.trace t
+let cert_snapshot (Packed ((module O), t)) = O.cert_snapshot t
 
 exception Check_failed of string
 

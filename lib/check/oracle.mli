@@ -49,6 +49,10 @@ module type ORACLE = sig
   (** The engine's event tracer. Adapters create engines with a live
       tracer so failure reports can attach the event log of the failing
       step ({!Harness.failure.trace}). *)
+
+  val cert_snapshot : t -> (string * string) list
+  (** The engine's SNAPSHOTTABLE dump (named canonical-text sections),
+      feeding the durable journal's certificate snapshots. *)
 end
 
 type packed = Packed : (module ORACLE with type t = 'a) * 'a -> packed
@@ -62,6 +66,7 @@ val recompute : packed -> string
 val check_invariants : packed -> unit
 val obs : packed -> Ig_obs.Obs.t
 val trace : packed -> Ig_obs.Tracer.t
+val cert_snapshot : packed -> (string * string) list
 
 exception Check_failed of string
 (** Raised by {!check} and {!check_metrics} with a human-readable

@@ -7,7 +7,16 @@ type t = {
   base : Digraph.t;
   focus : (Digraph.node * Digraph.node) list;
   make : unit -> Oracle.packed;
+  qspec : string * int * string list;
 }
+
+(* A pattern rendered back to CLI/journal-header query arguments: labels
+   in node order, then edges as "u-v". *)
+let pattern_qargs p =
+  List.init (Ig_iso.Pattern.n_nodes p) (Ig_iso.Pattern.label p)
+  @ List.map
+      (fun (u, v) -> Printf.sprintf "%d-%d" u v)
+      (Ig_iso.Pattern.edges p)
 
 type size = { nodes : int; edges : int; labels : int }
 
@@ -23,16 +32,34 @@ let base_graph ~rng { nodes; edges; labels } =
 let kws ~rng ?(size = default_size) () =
   let base = base_graph ~rng size in
   let q = Q.kws ~rng base ~m:2 ~b:2 in
-  { name = "kws"; base; focus = []; make = (fun () -> Adapters.kws base q) }
+  {
+    name = "kws";
+    base;
+    focus = [];
+    make = (fun () -> Adapters.kws base q);
+    qspec = ("kws", q.Ig_kws.Batch.bound, q.Ig_kws.Batch.keywords);
+  }
 
 let rpq ~rng ?(size = default_size) () =
   let base = base_graph ~rng size in
   let q = Q.rpq ~rng base ~size:3 in
-  { name = "rpq"; base; focus = []; make = (fun () -> Adapters.rpq base q) }
+  {
+    name = "rpq";
+    base;
+    focus = [];
+    make = (fun () -> Adapters.rpq base q);
+    qspec = ("rpq", 0, [ Ig_nfa.Regex.to_string q ]);
+  }
 
 let scc ~rng ?(size = default_size) () =
   let base = base_graph ~rng size in
-  { name = "scc"; base; focus = []; make = (fun () -> Adapters.scc base) }
+  {
+    name = "scc";
+    base;
+    focus = [];
+    make = (fun () -> Adapters.scc base);
+    qspec = ("scc", 0, []);
+  }
 
 (* A pattern for Sim/ISO: sampled from the graph when possible (guaranteeing
    initial matches), else a hand-rolled 2-node chain over graph labels. *)
@@ -46,12 +73,24 @@ let pattern ~rng g ~labels =
 let sim ~rng ?(size = default_size) () =
   let base = base_graph ~rng size in
   let p = pattern ~rng base ~labels:size.labels in
-  { name = "sim"; base; focus = []; make = (fun () -> Adapters.sim base p) }
+  {
+    name = "sim";
+    base;
+    focus = [];
+    make = (fun () -> Adapters.sim base p);
+    qspec = ("sim", 0, pattern_qargs p);
+  }
 
 let iso ~rng ?(size = default_size) () =
   let base = base_graph ~rng size in
   let p = pattern ~rng base ~labels:size.labels in
-  { name = "iso"; base; focus = []; make = (fun () -> Adapters.iso base p) }
+  {
+    name = "iso";
+    base;
+    focus = [];
+    make = (fun () -> Adapters.iso base p);
+    qspec = ("iso", 0, pattern_qargs p);
+  }
 
 let edge_of = function
   | Digraph.Insert (u, v) | Digraph.Delete (u, v) -> (u, v)
@@ -74,6 +113,7 @@ let gadget ?(cycle = 4) () =
     base;
     focus = d1 :: d2 :: near;
     make = (fun () -> Adapters.rpq base gd.Ig_theory.Gadget.query);
+    qspec = ("rpq", 0, [ Ig_nfa.Regex.to_string gd.Ig_theory.Gadget.query ]);
   }
 
 let all ~rng ?(size = default_size) () =

@@ -15,6 +15,10 @@ type t = {
   make : unit -> Oracle.packed;
       (** deterministic factory: a fresh engine over a fresh copy of
           [base], suitable for {!Harness.run}'s shrinking replays *)
+  qspec : string * int * string list;
+      (** [(class, bound, query args)] in the CLI's positional-argument
+          syntax — what journal headers record so [incgraph replay] can
+          rebuild the same engine. *)
 }
 
 type size = { nodes : int; edges : int; labels : int }

@@ -63,9 +63,23 @@ module Check = struct
   module Shrink = Ig_check.Shrink
   module Harness = Ig_check.Harness
   module Scenarios = Ig_check.Scenarios
+  module Durable = Ig_check.Durable
+end
+
+module Journal = struct
+  module Record = Ig_journal.Record
+  module Log = Ig_journal.Journal
+  module Snapshot = Ig_journal.Snapshot
+  module Store = Ig_journal.Store
 end
 
 module Lint = Ig_lint.Lint
+
+module type SNAPSHOTTABLE = sig
+  type t
+
+  val cert_snapshot : t -> (string * string) list
+end
 
 module type Session = sig
   type t
@@ -89,6 +103,7 @@ module Kws_session = struct
   let update = Ig_kws.Inc_kws.apply_batch
   let answer = Ig_kws.Inc_kws.match_roots
   let graph = Ig_kws.Inc_kws.graph
+  let cert_snapshot = Ig_kws.Inc_kws.cert_snapshot
 end
 
 module Rpq_session = struct
@@ -101,6 +116,7 @@ module Rpq_session = struct
   let update = Ig_rpq.Inc_rpq.apply_batch
   let answer = Ig_rpq.Inc_rpq.matches
   let graph = Ig_rpq.Inc_rpq.graph
+  let cert_snapshot = Ig_rpq.Inc_rpq.cert_snapshot
 end
 
 module Scc_session = struct
@@ -113,6 +129,7 @@ module Scc_session = struct
   let update = Ig_scc.Inc_scc.apply_batch
   let answer = Ig_scc.Inc_scc.components
   let graph = Ig_scc.Inc_scc.graph
+  let cert_snapshot = Ig_scc.Inc_scc.cert_snapshot
 end
 
 module Iso_session = struct
@@ -125,6 +142,7 @@ module Iso_session = struct
   let update = Ig_iso.Inc_iso.apply_batch
   let answer = Ig_iso.Inc_iso.matches
   let graph = Ig_iso.Inc_iso.graph
+  let cert_snapshot = Ig_iso.Inc_iso.cert_snapshot
 end
 
 module Sim_session = struct
@@ -137,4 +155,5 @@ module Sim_session = struct
   let update = Ig_sim.Inc_sim.apply_batch
   let answer t = Ig_sim.Sim.pairs (Ig_sim.Inc_sim.relation t)
   let graph = Ig_sim.Inc_sim.graph
+  let cert_snapshot = Ig_sim.Inc_sim.cert_snapshot
 end

@@ -111,10 +111,26 @@ module Check : sig
   module Shrink = Ig_check.Shrink
   module Harness = Ig_check.Harness
   module Scenarios = Ig_check.Scenarios
+  module Durable = Ig_check.Durable
 end
 (** Differential oracle & fuzzing subsystem: every incremental engine
     cross-checked against its batch counterpart under seeded random update
-    streams, with ddmin shrinking of failures (see [incgraph fuzz]). *)
+    streams, with ddmin shrinking of failures (see [incgraph fuzz]);
+    {!Check.Durable} extends it with journaled do/undo/crash-recover
+    interleavings. *)
+
+(** Durability subsystem: a write-ahead journal of atomic graph ops with a
+    checksummed, torn-tail-detecting on-disk format ({!Journal.Record},
+    {!Journal.Log}), periodic certificate snapshots bounding recovery
+    replay ({!Journal.Snapshot}), and the session-directory store tying
+    them together with k-step undo and time travel ({!Journal.Store}). See
+    [incgraph journal/replay/snapshot/undo] and DESIGN.md §8.5. *)
+module Journal : sig
+  module Record = Ig_journal.Record
+  module Log = Ig_journal.Journal
+  module Snapshot = Ig_journal.Snapshot
+  module Store = Ig_journal.Store
+end
 
 module Lint = Ig_lint.Lint
 (** Determinism & instrumentation linter: a parse-only static-analysis
@@ -124,6 +140,15 @@ module Lint = Ig_lint.Lint
     interfaces everywhere). See [incgraph lint] and DESIGN.md §8.4. *)
 
 (** {1 Uniform sessions} *)
+
+(** The capability {!Journal.Store} snapshots rely on: dump the engine's
+    certificate store as named canonical-text sections. Dumps must be
+    byte-identical across process hash seeds (sorted iteration only). *)
+module type SNAPSHOTTABLE = sig
+  type t
+
+  val cert_snapshot : t -> (string * string) list
+end
 
 (** The common shape of the four incremental engines: create once with the
     batch algorithm, then trade update batches for output deltas. *)
@@ -145,37 +170,57 @@ module type Session = sig
   val graph : t -> Digraph.t
 end
 
-module Kws_session :
-  Session
-    with type query = Ig_kws.Batch.query
-     and type answer = Digraph.node list
-     and type delta = Ig_kws.Inc_kws.delta
-     and type t = Ig_kws.Inc_kws.t
+module Kws_session : sig
+  include
+    Session
+      with type query = Ig_kws.Batch.query
+       and type answer = Digraph.node list
+       and type delta = Ig_kws.Inc_kws.delta
+       and type t = Ig_kws.Inc_kws.t
 
-module Rpq_session :
-  Session
-    with type query = Regex.t
-     and type answer = (Digraph.node * Digraph.node) list
-     and type delta = Ig_rpq.Inc_rpq.delta
-     and type t = Ig_rpq.Inc_rpq.t
+  include SNAPSHOTTABLE with type t := t
+end
 
-module Scc_session :
-  Session
-    with type query = unit
-     and type answer = Digraph.node list list
-     and type delta = Ig_scc.Inc_scc.delta
-     and type t = Ig_scc.Inc_scc.t
+module Rpq_session : sig
+  include
+    Session
+      with type query = Regex.t
+       and type answer = (Digraph.node * Digraph.node) list
+       and type delta = Ig_rpq.Inc_rpq.delta
+       and type t = Ig_rpq.Inc_rpq.t
 
-module Iso_session :
-  Session
-    with type query = Ig_iso.Pattern.t
-     and type answer = Ig_iso.Vf2.mapping list
-     and type delta = Ig_iso.Inc_iso.delta
-     and type t = Ig_iso.Inc_iso.t
+  include SNAPSHOTTABLE with type t := t
+end
 
-module Sim_session :
-  Session
-    with type query = Ig_iso.Pattern.t
-     and type answer = (int * Digraph.node) list
-     and type delta = Ig_sim.Inc_sim.delta
-     and type t = Ig_sim.Inc_sim.t
+module Scc_session : sig
+  include
+    Session
+      with type query = unit
+       and type answer = Digraph.node list list
+       and type delta = Ig_scc.Inc_scc.delta
+       and type t = Ig_scc.Inc_scc.t
+
+  include SNAPSHOTTABLE with type t := t
+end
+
+module Iso_session : sig
+  include
+    Session
+      with type query = Ig_iso.Pattern.t
+       and type answer = Ig_iso.Vf2.mapping list
+       and type delta = Ig_iso.Inc_iso.delta
+       and type t = Ig_iso.Inc_iso.t
+
+  include SNAPSHOTTABLE with type t := t
+end
+
+module Sim_session : sig
+  include
+    Session
+      with type query = Ig_iso.Pattern.t
+       and type answer = (int * Digraph.node) list
+       and type delta = Ig_sim.Inc_sim.delta
+       and type t = Ig_sim.Inc_sim.t
+
+  include SNAPSHOTTABLE with type t := t
+end

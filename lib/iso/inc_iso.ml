@@ -251,3 +251,27 @@ let check_invariants t =
           ignore e)
         s)
     t.edge_index
+
+(* Canonical text dump of the match store: one line per match, canonical
+   image first, then the pattern-indexed mapping. Sorted by Vf2's canon
+   order so the bytes are hash-seed independent. *)
+let cert_snapshot t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ((ns, es), mapping) ->
+      Buffer.add_string buf "nodes";
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) ns;
+      Buffer.add_string buf " edges";
+      List.iter
+        (fun (u, v) -> Buffer.add_string buf (Printf.sprintf " %d-%d" u v))
+        es;
+      Buffer.add_string buf " map";
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v))
+        mapping;
+      Buffer.add_char buf '\n')
+    (Obs.sorted_bindings ~compare:Vf2.compare_canon t.matches);
+  [
+    ("matches", Buffer.contents buf);
+    ("count", Printf.sprintf "%d\n" (Hashtbl.length t.matches));
+  ]

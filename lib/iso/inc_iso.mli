@@ -79,3 +79,9 @@ val reset_stats : t -> unit
 val check_invariants : t -> unit
 (** Test hook: the match set equals a fresh VF2 enumeration and the edge
     index is consistent. @raise Failure on violation. *)
+
+val cert_snapshot : t -> (string * string) list
+(** SNAPSHOTTABLE: every current match (canonical image plus
+    pattern-indexed mapping) in {!Vf2.compare_canon} order, as named
+    canonical-text sections (hash-seed independent), for durable
+    certificate snapshots. *)

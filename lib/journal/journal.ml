@@ -1,0 +1,221 @@
+module Digraph = Ig_graph.Digraph
+module Io = Ig_graph.Io
+
+type t = {
+  path : string;
+  hdr : Record.header;
+  oc : out_channel;
+  mutable next_seq : int;
+  mutable committed : Record.batch list; (* reverse seq order *)
+}
+
+type tail = Clean | Torn of { offset : int; dropped : int; reason : string }
+
+type scanned = {
+  header : Record.header;
+  batches : Record.batch list;
+  tail : tail;
+  valid_bytes : int;
+}
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+let graph_digest g = digest_hex (Format.asprintf "%a" Io.write g)
+
+let read_all path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let scan ~path =
+  match read_all path with
+  | exception Sys_error e -> Error (Printf.sprintf "cannot read %s: %s" path e)
+  | src ->
+      let len = String.length src in
+      let mlen = String.length Record.magic in
+      if len < mlen || not (String.equal (String.sub src 0 mlen) Record.magic)
+      then Error (Printf.sprintf "%s: bad or missing journal magic" path)
+      else begin
+        match Record.read_record src ~pos:mlen with
+        | Error _ -> Error (Printf.sprintf "%s: unreadable journal header" path)
+        | Ok (Record.Batch _, _) ->
+            Error (Printf.sprintf "%s: first record is not a header" path)
+        | Ok (Record.Header h, pos0) ->
+            if h.Record.version <> Record.format_version then
+              Error
+                (Printf.sprintf "%s: format version %d, expected %d" path
+                   h.Record.version Record.format_version)
+            else begin
+              (* Committed prefix: contiguous batch records. The first bad
+                 or out-of-sequence record ends the prefix; everything from
+                 there is torn tail, dropped as a unit. *)
+              let rec go pos seq acc =
+                if pos = len then (List.rev acc, Clean, pos)
+                else
+                  let torn reason =
+                    ( List.rev acc,
+                      Torn { offset = pos; dropped = len - pos; reason },
+                      pos )
+                  in
+                  match Record.read_record src ~pos with
+                  | Error Record.Truncated -> torn "truncated record"
+                  | Error (Record.Corrupt m) -> torn m
+                  | Ok (Record.Header _, _) -> torn "unexpected second header"
+                  | Ok (Record.Batch b, pos') ->
+                      if b.Record.seq <> seq then
+                        torn
+                          (Printf.sprintf "sequence gap: found %d, expected %d"
+                             b.Record.seq seq)
+                      else go pos' (seq + 1) (b :: acc)
+              in
+              let batches, tail, valid_bytes = go pos0 1 [] in
+              Ok { header = h; batches; tail; valid_bytes }
+            end
+      end
+
+let write_prefix path src n =
+  let oc = open_out_bin path in
+  output_string oc (String.sub src 0 n);
+  close_out oc
+
+let repair ~path =
+  match scan ~path with
+  | Error e -> Error e
+  | Ok { tail = Clean; _ } -> Ok 0
+  | Ok { tail = Torn { dropped; _ }; valid_bytes; _ } ->
+      write_prefix path (read_all path) valid_bytes;
+      Ok dropped
+
+let chop ~path n =
+  let src = read_all path in
+  write_prefix path src (max 0 (String.length src - n))
+
+let create ~path hdr =
+  let oc = open_out_bin path in
+  output_string oc Record.magic;
+  output_string oc (Record.frame (Record.encode_payload (Record.Header hdr)));
+  flush oc;
+  { path; hdr; oc; next_seq = 1; committed = [] }
+
+let open_append ~path =
+  match scan ~path with
+  | Error e -> Error e
+  | Ok s ->
+      (match s.tail with
+      | Clean -> ()
+      | Torn _ -> write_prefix path (read_all path) s.valid_bytes);
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+      in
+      let tip =
+        match List.rev s.batches with b :: _ -> b.Record.seq | [] -> 0
+      in
+      Ok
+        ( {
+            path;
+            hdr = s.header;
+            oc;
+            next_seq = tip + 1;
+            committed = List.rev s.batches;
+          },
+          s )
+
+let append t ~kind ~ops ~pre ~post =
+  let b = { Record.seq = t.next_seq; kind; ops; pre; post } in
+  output_string t.oc (Record.frame (Record.encode_payload (Record.Batch b)));
+  flush t.oc;
+  t.next_seq <- t.next_seq + 1;
+  t.committed <- b :: t.committed;
+  b
+
+let tip t = t.next_seq - 1
+let batches t = List.rev t.committed
+let header t = t.hdr
+let close t = close_out t.oc
+
+(* ---- op semantics -------------------------------------------------------- *)
+
+(* Normalization consults the live graph through an overlay of the edges
+   already touched earlier in the same batch, so within-batch dependencies
+   (insert then delete of the same edge) resolve without copying the
+   graph. *)
+let effective_ops g updates =
+  let overlay = Hashtbl.create 16 in
+  let present u v =
+    match Hashtbl.find_opt overlay (u, v) with
+    | Some p -> p
+    | None -> Digraph.mem_edge g u v
+  in
+  List.concat_map
+    (fun u ->
+      match u with
+      | Digraph.Insert (a, b) ->
+          if present a b then []
+          else begin
+            Hashtbl.replace overlay (a, b) true;
+            [ Record.Upsert_edge (a, b) ]
+          end
+      | Digraph.Delete (a, b) ->
+          if not (present a b) then []
+          else begin
+            Hashtbl.replace overlay (a, b) false;
+            [ Record.Tombstone_edge (a, b) ]
+          end)
+    updates
+
+let updates_of_ops ops =
+  List.map
+    (function
+      | Record.Upsert_edge (u, v) -> Digraph.Insert (u, v)
+      | Record.Tombstone_edge (u, v) -> Digraph.Delete (u, v)
+      | (Record.Upsert_node _ | Record.Tombstone_node _) as op ->
+          invalid_arg
+            ("Journal.updates_of_ops: node op has no engine update: "
+            ^ Record.op_to_string op))
+    ops
+
+let apply_op g = function
+  | Record.Upsert_edge (u, v) -> ignore (Digraph.add_edge g u v)
+  | Record.Tombstone_edge (u, v) -> ignore (Digraph.remove_edge g u v)
+  | Record.Upsert_node (id, l) ->
+      let n = Digraph.n_nodes g in
+      if id < n then () (* already replayed *)
+      else if id = n then ignore (Digraph.add_node g l)
+      else
+        invalid_arg
+          (Printf.sprintf "Journal.apply_op: node id gap (%d, have %d)" id n)
+  | Record.Tombstone_node id ->
+      List.iter (fun w -> ignore (Digraph.remove_edge g id w))
+        (Digraph.succ_list g id);
+      List.iter (fun w -> ignore (Digraph.remove_edge g w id))
+        (Digraph.pred_list g id)
+
+let invert ops =
+  let rec go acc = function
+    | [] -> Ok acc
+    | op :: rest -> (
+        match Record.inverse_op op with
+        | Some inv -> go (inv :: acc) rest
+        | None ->
+            Error
+              ("node op is monotone and cannot be undone: "
+              ^ Record.op_to_string op))
+  in
+  go [] ops
+
+let plan_undo batches ~k =
+  let n = List.length batches in
+  if k <= 0 then Error "undo: k must be positive"
+  else if k > n then
+    Error (Printf.sprintf "undo: only %d batch(es) journaled, asked for %d" n k)
+  else
+    let undone = List.filteri (fun i _ -> i >= n - k) batches in
+    let expected =
+      match undone with b :: _ -> b.Record.pre | [] -> assert false
+    in
+    let rec build acc = function
+      | [] -> Ok (acc, expected)
+      | b :: rest -> (
+          match invert b.Record.ops with
+          | Error e ->
+              Error (Printf.sprintf "batch %d: %s" b.Record.seq e)
+          | Ok inv -> build (acc @ inv) rest)
+    in
+    build [] (List.rev undone)

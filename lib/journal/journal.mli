@@ -1,0 +1,111 @@
+(** The append-only delta journal.
+
+    One file per journaled session: the {!Record.magic} bytes, a
+    {!Record.header} record, then {!Record.batch} records with contiguous
+    sequence numbers. Appends are flushed before the in-memory state
+    advances (write-ahead), so after a crash the journal is the truth and
+    the engine is rebuilt from it.
+
+    {2 Crash-recovery contract}
+
+    {!scan} never raises on a damaged file tail: decoding stops at the
+    first record that is truncated, checksum-corrupt, or out of sequence,
+    and everything from that offset on is reported as a {!tail} to be
+    dropped ({!repair} truncates it in place). A file without a readable
+    magic + header is unusable and reported as [Error] — there is no state
+    to recover. Recovery therefore either replays a full prefix of
+    committed batches or cleanly drops the torn suffix; it never applies
+    half a batch.
+
+    {2 Digests}
+
+    Graph state is identified by {!graph_digest}: the hex MD5 of the
+    canonical {!Ig_graph.Io.write} text (header line, nodes in id order,
+    edges in lexicographic order). Batches record the digest before and
+    after, so replay and undo are verified byte-for-byte, not merely
+    set-equal. *)
+
+type t
+(** An open journal, positioned for appending. *)
+
+type tail =
+  | Clean
+  | Torn of { offset : int; dropped : int; reason : string }
+      (** [dropped] bytes starting at [offset] are not part of any
+          committed record. *)
+
+type scanned = {
+  header : Record.header;
+  batches : Record.batch list;  (** committed batches, in seq order *)
+  tail : tail;
+  valid_bytes : int;  (** prefix length covering magic + committed records *)
+}
+
+val graph_digest : Ig_graph.Digraph.t -> string
+val digest_hex : string -> string
+
+val scan : path:string -> (scanned, string) result
+(** Read-only recovery scan; see the crash-recovery contract above. *)
+
+val create : path:string -> Record.header -> t
+(** Write magic + header to a fresh file (truncating any existing one). *)
+
+val open_append : path:string -> (t * scanned, string) result
+(** Scan, truncate any torn tail in place, and open for appending after
+    the last committed record. *)
+
+val repair : path:string -> (int, string) result
+(** Truncate a torn tail; returns the number of bytes dropped (0 when the
+    file was already clean). *)
+
+val chop : path:string -> int -> unit
+(** Crash injection for tests and the [--chop] CLI flag: remove the last
+    [n] bytes of the file, simulating a torn write. *)
+
+val append : t -> kind:Record.kind -> ops:Record.op list -> pre:string ->
+  post:string -> Record.batch
+(** Frame and write the next batch (sequence number assigned here) and
+    flush it to the OS before returning. *)
+
+val tip : t -> int
+(** Sequence number of the last committed batch; 0 when none. *)
+
+val batches : t -> Record.batch list
+(** All committed batches, in seq order (including any appended since
+    opening). *)
+
+val header : t -> Record.header
+val close : t -> unit
+
+(** {2 Op semantics} *)
+
+val effective_ops :
+  Ig_graph.Digraph.t -> Ig_graph.Digraph.update list -> Record.op list
+(** Normalize a requested update batch against the live graph into the
+    effective atomic ops: duplicate inserts and absent deletes drop out,
+    and within-batch dependencies are tracked (an insert followed by a
+    delete of the same absent edge contributes both ops). Only effective
+    ops are journaled — that is what makes batches invertible and replay
+    idempotent. The graph is not modified. *)
+
+val updates_of_ops : Record.op list -> Ig_graph.Digraph.update list
+(** Edge ops as engine updates. @raise Invalid_argument on node ops,
+    which cannot be routed through an engine's edge-update entry points. *)
+
+val apply_op : Ig_graph.Digraph.t -> Record.op -> unit
+(** Graph-level (engine-free) replay of one op; idempotent. Node upserts
+    must arrive in id order ([Invalid_argument] on a gap); tombstoned
+    nodes keep their id and lose their incident edges. *)
+
+val invert : Record.op list -> (Record.op list, string) result
+(** The compensating op list: inverses in reverse order. [Error] if any
+    op is a monotone node op. *)
+
+val plan_undo :
+  Record.batch list -> k:int ->
+  (Record.op list * string, string) result
+(** [plan_undo batches ~k] is the compensating op list rolling back the
+    last [k] batches of [batches] (seq order), together with the expected
+    graph digest after the rollback (the [pre] of the oldest undone
+    batch). [Error] when fewer than [k] batches exist or the range
+    contains node upserts. *)

@@ -485,3 +485,26 @@ let match_cost t r =
       (Array.fold_left
          (fun acc kd -> acc + (Hashtbl.find kd r).Batch.dist)
          0 t.kd)
+
+(* Canonical text dump of the auxiliary structure, one section per store.
+   Sorted iteration keeps the bytes independent of the process hash seed. *)
+let cert_snapshot t =
+  let kd = Buffer.create 256 in
+  Array.iteri
+    (fun i h ->
+      List.iter
+        (fun (v, e) ->
+          Buffer.add_string kd
+            (Printf.sprintf "k%d v%d dist=%d next=%d\n" i v e.Batch.dist
+               e.Batch.next))
+        (Obs.sorted_bindings ~compare:Int.compare h))
+    t.kd;
+  let mc = Buffer.create 64 in
+  List.iter
+    (fun (v, c) -> Buffer.add_string mc (Printf.sprintf "v%d %d\n" v c))
+    (Obs.sorted_bindings ~compare:Int.compare t.mcount);
+  [
+    ("kdist", Buffer.contents kd);
+    ("mcount", Buffer.contents mc);
+    ("matches", Printf.sprintf "%d\n" t.n_matches);
+  ]

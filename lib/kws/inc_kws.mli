@@ -119,3 +119,8 @@ val match_cost : t -> node -> int option
 (** The minimized objective of the paper's match definition at a root:
     [Σ_i dist(r, p_i)] over all keywords, or [None] if the node is not a
     match root. *)
+
+val cert_snapshot : t -> (string * string) list
+(** SNAPSHOTTABLE: the kdist lists, per-node keyword counts and match
+    total as named canonical-text sections (hash-seed independent), for
+    durable certificate snapshots. *)

@@ -78,6 +78,12 @@ let d2_applies path = String.starts_with ~prefix:"lib/" path
 let d3_applies path =
   d2_applies path && not (String.starts_with ~prefix:"lib/obs/" path)
 
+(* The filesystem half of D3: in lib/, only the durability layer may open
+   files or walk directories — everything else must stay a pure in-memory
+   computation (deliberate artifact writers annotate their sites). *)
+let d3_fs_applies path =
+  d2_applies path && not (String.starts_with ~prefix:"lib/journal/" path)
+
 let d4_applies path =
   d2_applies path
   && String.starts_with ~prefix:"inc_" (Filename.basename path)
@@ -191,6 +197,37 @@ let d2_targets =
     ("Digraph", "iter_pred");
   ]
 
+let fs_open_fns =
+  [
+    "open_in"; "open_in_bin"; "open_in_gen";
+    "open_out"; "open_out_bin"; "open_out_gen";
+  ]
+
+let fs_channel_fns =
+  [
+    "open_bin"; "open_text"; "open_gen";
+    "with_open_bin"; "with_open_text"; "with_open_gen";
+  ]
+
+let fs_targets =
+  [
+    ("Sys", "readdir"); ("Sys", "remove"); ("Sys", "rename");
+    ("Sys", "mkdir"); ("Sys", "rmdir"); ("Sys", "file_exists");
+    ("Sys", "is_directory"); ("Sys", "command");
+    ("Unix", "openfile"); ("Unix", "mkdir"); ("Unix", "unlink");
+    ("Unix", "rename"); ("Unix", "opendir");
+    ("Filename", "temp_file"); ("Filename", "open_temp_file");
+  ]
+
+let is_fs_ident comps =
+  match comps with
+  | [ f ] | [ "Stdlib"; f ] when List.mem f fs_open_fns -> true
+  | _ -> (
+      match last2 comps with
+      | Some (("In_channel" | "Out_channel"), f) -> List.mem f fs_channel_fns
+      | Some t -> List.mem t fs_targets
+      | None -> false)
+
 let check_ident ctx (loc : Location.t) lid =
   let comps = flatten_longident [] lid in
   if d1_applies ctx.path then begin
@@ -236,7 +273,11 @@ let check_ident ctx (loc : Location.t) lid =
           "wall-clock read in lib/; timing belongs to lib/obs's monotonic \
            clock"
     | _ -> ()
-  end
+  end;
+  if d3_fs_applies ctx.path && is_fs_ident comps then
+    emit ctx ~loc "D3" Error
+      "filesystem access in lib/; durable I/O belongs to lib/journal — \
+       annotate a deliberate artifact writer with [@lint.allow \"D3\"]"
 
 let note_aff ctx e =
   match e.pexp_desc with
@@ -362,6 +403,10 @@ let lint_interface ~path source =
   List.sort compare_diagnostic ctx.diags
 
 (* ---- tree scan ------------------------------------------------------------ *)
+
+(* The linter's own job is walking the source tree; exempt the scan below
+   from the lib/-filesystem half of D3. *)
+[@@@lint.allow "D3"]
 
 let scanned_roots = [ "bench"; "bin"; "lib"; "test" ]
 

@@ -84,6 +84,10 @@ module K = struct
   let changed = "changed"
   let changed_input = "changed_input"
   let changed_output = "changed_output"
+  let journal_ops = "journal_ops"
+  let journal_replayed = "journal_replayed"
+  let journal_undone = "journal_undone"
+  let snapshots = "snapshots"
 
   (* Canonical histogram names recorded by [with_apply]. Uniform across
      engines: each engine owns its registry, so the series name — not the

@@ -69,6 +69,18 @@ module K : sig
   val changed_input : string
   val changed_output : string
 
+  val journal_ops : string
+  (** Effective ops written to the durable journal. *)
+
+  val journal_replayed : string
+  (** Ops re-applied from the journal during recovery. *)
+
+  val journal_undone : string
+  (** Compensating undo batches appended. *)
+
+  val snapshots : string
+  (** Certificate snapshots written. *)
+
   val apply_latency : string
   (** Histogram of seconds per apply/batch call, recorded by
       {!with_apply}. *)

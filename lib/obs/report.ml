@@ -131,7 +131,7 @@ let to_json t =
     ]
 
 let write ~path t =
-  let oc = open_out path in
+  let oc = (open_out [@lint.allow "D3"]) path in
   output_string oc (Json.to_string ~indent:true (to_json t));
   output_char oc '\n';
   close_out oc

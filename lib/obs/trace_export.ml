@@ -84,7 +84,7 @@ let to_chrome ?(pid = 0) ?(tid = 0) ~name (snap : Tracer.snapshot) =
     ]
 
 let write_chrome ~path ?pid ?tid ~name snap =
-  let oc = open_out path in
+  let oc = (open_out [@lint.allow "D3"]) path in
   output_string oc (J.to_string ~indent:true (to_chrome ?pid ?tid ~name snap));
   output_char oc '\n';
   close_out oc

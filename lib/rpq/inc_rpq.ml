@@ -504,3 +504,28 @@ let witness_path t u v =
       in
       back k0 d0 []
   | _ -> None
+
+(* Canonical text dump of the per-source markings. Product-graph keys are
+   decoded to (node, state) pairs so the sections survive key-encoding
+   changes; sorted iteration keeps the bytes hash-seed independent. *)
+let cert_snapshot t =
+  let pm = Buffer.create 256 in
+  let ac = Buffer.create 128 in
+  List.iter
+    (fun (u, ss) ->
+      List.iter
+        (fun (k, d) ->
+          Buffer.add_string pm
+            (Printf.sprintf "src%d v%d s%d dist=%d\n" u
+               (Pgraph.node_of t.p k) (Pgraph.state_of t.p k) d))
+        (Obs.sorted_bindings ~compare:Int.compare ss.marks);
+      List.iter
+        (fun (v, c) ->
+          Buffer.add_string ac (Printf.sprintf "src%d v%d %d\n" u v c))
+        (Obs.sorted_bindings ~compare:Int.compare ss.accs))
+    (Obs.sorted_bindings ~compare:Int.compare t.srcs);
+  [
+    ("pmark", Buffer.contents pm);
+    ("accs", Buffer.contents ac);
+    ("matches", Printf.sprintf "%d\n" t.n_matches);
+  ]

@@ -123,3 +123,9 @@ val witness_path : t -> node -> node -> node list option
 (** A concrete shortest path [u … v] whose label word is in [L(Q)],
     reconstructed by walking the markings backwards through the product
     graph (the paper's [mpre] chains, derived on demand). *)
+
+val cert_snapshot : t -> (string * string) list
+(** SNAPSHOTTABLE: the per-source pmark distances (keys decoded to
+    [(node, state)]), accepting-entry counts and match total as named
+    canonical-text sections (hash-seed independent), for durable
+    certificate snapshots. *)

@@ -772,3 +772,63 @@ let contracted t =
         h)
     t.csucc;
   (gc, members)
+
+(* Canonical text dump of the live state. The cert section is documented
+   evidence, not a correctness carrier: lazily maintained Tarjan certs are
+   history-dependent, so recovery re-derives them by replay rather than
+   trusting these bytes. Sorted iteration keeps the dump hash-seed
+   independent. *)
+let cert_snapshot t =
+  let n = Ig_graph.Digraph.n_nodes t.g in
+  let comp = Buffer.create 128 in
+  for v = 0 to n - 1 do
+    Buffer.add_string comp (Printf.sprintf "v%d c%d\n" v (comp_of t v))
+  done;
+  let cb = Buffer.create 256 in
+  for v = 0 to n - 1 do
+    let c = cert t v in
+    let w =
+      match c.Tarjan.witness with
+      | Tarjan.Wself -> "self"
+      | Tarjan.Wtree x -> Printf.sprintf "tree:%d" x
+      | Tarjan.Wdirect x -> Printf.sprintf "direct:%d" x
+    in
+    Buffer.add_string cb
+      (Printf.sprintf "v%d num=%d low=%d parent=%d witness=%s\n" v
+         c.Tarjan.num c.Tarjan.lowlink c.Tarjan.parent w)
+  done;
+  let live =
+    List.filter
+      (fun c -> dsu_find t c = c)
+      (List.map fst (Obs.sorted_bindings ~compare:Int.compare t.members))
+  in
+  let rk = Buffer.create 64 in
+  List.iter
+    (fun c -> Buffer.add_string rk (Printf.sprintf "c%d\n" c))
+    (List.sort (Rank.compare_items t.rank)
+       (List.filter (Rank.mem t.rank) live));
+  let cs = Buffer.create 128 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt t.csucc c with
+      | None -> ()
+      | Some h ->
+          let counts = Hashtbl.create 8 in
+          List.iter
+            (fun (d, k) ->
+              let d = dsu_find t d in
+              if d <> c then
+                Hashtbl.replace counts d
+                  (k + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+            (Obs.sorted_bindings ~compare:Int.compare h);
+          List.iter
+            (fun (d, k) ->
+              Buffer.add_string cs (Printf.sprintf "c%d -> c%d x%d\n" c d k))
+            (Obs.sorted_bindings ~compare:Int.compare counts))
+    live;
+  [
+    ("comp", Buffer.contents comp);
+    ("cert", Buffer.contents cb);
+    ("ranks", Buffer.contents rk);
+    ("csucc", Buffer.contents cs);
+  ]

@@ -153,3 +153,11 @@ val contracted : t -> Ig_graph.Digraph.t * node list array
     (so node ids are a reverse topological order of the condensation —
     sinks first — and every edge goes from a higher id to a lower one).
     The array maps each contracted node to its members. *)
+
+val cert_snapshot : t -> (string * string) list
+(** SNAPSHOTTABLE: per-node component ids and Tarjan certificates, the
+    topological rank order of live components, and the contracted edge
+    multiset, as named canonical-text sections (hash-seed independent).
+    The cert section is evidence for inspection: lazily maintained
+    certificates are history-dependent, so recovery replays the journal
+    instead of trusting it. *)

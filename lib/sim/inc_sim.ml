@@ -283,3 +283,27 @@ let check_invariants t =
     t.r;
   let total = Array.fold_left (fun acc s -> acc + Hashtbl.length s) 0 t.r in
   if total <> t.n_pairs then fail "n_pairs %d, expected %d" t.n_pairs total
+
+(* Canonical text dump of the simulation relation and support counters,
+   hash-seed independent via sorted iteration. *)
+let cert_snapshot t =
+  let rel = Buffer.create 256 in
+  Array.iteri
+    (fun u h ->
+      List.iter
+        (fun (v, ()) -> Buffer.add_string rel (Printf.sprintf "u%d v%d\n" u v))
+        (Obs.sorted_bindings ~compare:Int.compare h))
+    t.r;
+  let cnt = Buffer.create 256 in
+  Array.iteri
+    (fun e h ->
+      List.iter
+        (fun (v, c) ->
+          Buffer.add_string cnt (Printf.sprintf "e%d v%d %d\n" e v c))
+        (Obs.sorted_bindings ~compare:Int.compare h))
+    t.cnt;
+  [
+    ("rel", Buffer.contents rel);
+    ("cnt", Buffer.contents cnt);
+    ("pairs", Printf.sprintf "%d\n" t.n_pairs);
+  ]

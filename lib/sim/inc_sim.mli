@@ -67,3 +67,8 @@ val n_pairs : t -> int
 val check_invariants : t -> unit
 (** Test hook: relation equals a fresh batch run; counters are consistent.
     @raise Failure on violation. *)
+
+val cert_snapshot : t -> (string * string) list
+(** SNAPSHOTTABLE: the simulation relation, per-pattern-edge support
+    counters and pair total as named canonical-text sections (hash-seed
+    independent), for durable certificate snapshots. *)

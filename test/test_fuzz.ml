@@ -58,6 +58,37 @@ let scenario_cases =
       ("gadget", 106);
     ]
 
+(* ---- durable fuzz: journaled do/undo/crash-recover interleavings -------- *)
+
+(* Each engine under Ig_check.Durable: every update write-ahead journaled,
+   random interleaved undo k, do→undo byte-identity pairs, snapshots, and
+   clean/torn crash-recoveries — with the differential oracle consulted
+   after every action. Step count is fixed (not FUZZ_STEPS-scaled): the
+   crash actions rebuild the engine from scratch, so soak scaling belongs
+   to the cheaper differential cases above. *)
+let durable_steps = 200
+
+let durable_case (name, seed) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %d journaled do/undo/crash steps" name durable_steps)
+    `Quick
+    (fun () ->
+      let rng = Random.State.make [| 0xd0; seed |] in
+      match Sc.by_name ~rng name with
+      | None -> Alcotest.failf "unknown scenario %s" name
+      | Some s -> (
+          match
+            Ig_check.Durable.run ~scenario:s
+              ~dir:(Printf.sprintf "durable_%s" name)
+              ~steps:durable_steps ~seed ()
+          with
+          | Ok n -> check Alcotest.int "steps completed" durable_steps n
+          | Error msg -> Alcotest.fail msg))
+
+let durable_cases =
+  List.map durable_case
+    [ ("kws", 201); ("rpq", 202); ("scc", 203); ("sim", 204); ("iso", 205) ]
+
 (* ---- stream driver ------------------------------------------------------ *)
 
 let test_stream_deterministic () =
@@ -171,6 +202,7 @@ module Buggy_scc = struct
   let check_invariants t = I.check_invariants t.eng
   let obs t = I.obs t.eng
   let trace t = I.trace t.eng
+  let cert_snapshot t = I.cert_snapshot t.eng
 end
 
 let test_mutation_buggy_engine_shrinks () =
@@ -233,6 +265,7 @@ let () =
   Alcotest.run "ig_check"
     [
       ("differential fuzz", scenario_cases);
+      ("durable fuzz", durable_cases);
       ( "stream driver",
         [
           Alcotest.test_case "deterministic" `Quick test_stream_deterministic;

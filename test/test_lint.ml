@@ -75,6 +75,23 @@ let test_d3_ambient () =
   check (Alcotest.list Alcotest.string) "bin/ out of scope" []
     (rules (lint ~path:"bin/fixture.ml" "let t () = Unix.gettimeofday ()"))
 
+(* D3's filesystem half: durable I/O belongs to lib/journal alone. *)
+let test_d3_filesystem () =
+  check (Alcotest.list Alcotest.string) "open_out in lib/ flagged" [ "D3" ]
+    (rules (lint "let f p = open_out p"));
+  check (Alcotest.list Alcotest.string) "Sys.remove flagged" [ "D3" ]
+    (rules (lint "let f p = Sys.remove p"));
+  check (Alcotest.list Alcotest.string) "Out_channel variants flagged" [ "D3" ]
+    (rules (lint "let f p = Out_channel.open_bin p"));
+  check (Alcotest.list Alcotest.string) "lib/journal exempt" []
+    (rules (lint ~path:"lib/journal/fixture.ml" "let f p = open_out p"));
+  check (Alcotest.list Alcotest.string) "bench/ out of scope" []
+    (rules (lint ~path:"bench/fixture.ml" "let f p = open_out p"));
+  check (Alcotest.list Alcotest.string) "annotated artifact writer passes" []
+    (rules (lint "let f p = (open_out [@lint.allow \"D3\"]) p"));
+  check Alcotest.int "suppression counted" 1
+    (suppressed "let f p = (open_out [@lint.allow \"D3\"]) p")
+
 (* ---- D4: instrumented update entry points ----------------------------------- *)
 
 let instrumented =
@@ -270,6 +287,7 @@ let () =
           Alcotest.test_case "D2 unordered iteration" `Quick test_d2_iteration;
           Alcotest.test_case "D3 ambient nondeterminism" `Quick
             test_d3_ambient;
+          Alcotest.test_case "D3 filesystem access" `Quick test_d3_filesystem;
           Alcotest.test_case "D4 instrumentation" `Quick
             test_d4_instrumentation;
           Alcotest.test_case "syntax errors are diagnostics" `Quick
