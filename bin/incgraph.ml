@@ -48,10 +48,29 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 2017 & info [ "seed" ] ~doc ~docv:"N")
 
-let load path =
-  let g = Core.Io.load path in
-  Format.printf "loaded %s: %d nodes, %d edges@." path (Core.Digraph.n_nodes g)
-    (Core.Digraph.n_edges g);
+let backend_conv =
+  let parse s =
+    match Core.Digraph.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S (hashtbl|csr)" s))
+  in
+  Arg.conv
+    (parse, fun ppf b -> Format.pp_print_string ppf (Core.Digraph.backend_name b))
+
+let backend_arg =
+  let doc =
+    "Graph backend: $(b,hashtbl) (mutable adjacency tables, the default) or \
+     $(b,csr) (flat compressed-sparse-row arrays behind a sorted delta \
+     overlay). Answers are identical; layout and cost differ."
+  in
+  Arg.(value & opt backend_conv `Hashtbl & info [ "backend" ] ~doc ~docv:"B")
+
+let load ~backend path =
+  let g = Core.Io.load ~backend path in
+  Format.printf "loaded %s: %d nodes, %d edges (%s)@." path
+    (Core.Digraph.n_nodes g)
+    (Core.Digraph.n_edges g)
+    (Core.Digraph.backend_name (Core.Digraph.backend g));
   g
 
 (* ---- generate ------------------------------------------------------------ *)
@@ -95,7 +114,7 @@ let generate_cmd =
              Δ1/Δ2 bridge insertions."
           ~docv:"N")
   in
-  let run profile scale out seed gadget =
+  let run profile scale out seed backend gadget =
     match gadget with
     | Some cycle ->
         let gd = Core.Theory.Gadget.make ~cycle in
@@ -113,7 +132,9 @@ let generate_cmd =
           (edge gd.Core.Theory.Gadget.delta2)
     | None ->
         let rng = Random.State.make [| seed |] in
-        let g = Core.Workload.Profiles.instantiate ~scale ~rng profile in
+        let g =
+          Core.Workload.Profiles.instantiate ~scale ~backend ~rng profile
+        in
         Core.Io.save out g;
         Format.printf "wrote %s: %d nodes, %d edges, %d labels@." out
           (Core.Digraph.n_nodes g) (Core.Digraph.n_edges g)
@@ -121,7 +142,7 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic labeled graph.")
-    Term.(const run $ profile $ scale $ out $ seed_arg $ gadget)
+    Term.(const run $ profile $ scale $ out $ seed_arg $ backend_arg $ gadget)
 
 (* ---- query class arguments ------------------------------------------------ *)
 
@@ -200,16 +221,17 @@ let run_query g = function
       Format.printf "SIM: %d relation pairs in %.3fs@." (List.length ps) t
 
 let query_cmd =
-  let run path cls bound args =
+  let run path backend cls bound args =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
-        run_query (load path) spec;
+        run_query (load ~backend path) spec;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer one query with the batch algorithm.")
-    Term.(ret (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg))
+    Term.(
+      ret (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg))
 
 (* ---- stream ----------------------------------------------------------------- *)
 
@@ -223,11 +245,11 @@ let stream_cmd =
   let ratio =
     Arg.(value & opt float 1.0 & info [ "ratio" ] ~doc:"Insert/delete ratio ρ.")
   in
-  let run path cls bound args batches size ratio seed =
+  let run path backend cls bound args batches size ratio seed =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
-        let g = load path in
+        let g = load ~backend path in
         let rng = Random.State.make [| seed |] in
         let step describe update =
           for round = 1 to batches do
@@ -304,8 +326,8 @@ let stream_cmd =
        ~doc:"Maintain a query incrementally over a random update stream.")
     Term.(
       ret
-        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
-       $ size $ ratio $ seed_arg))
+        (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg
+       $ batches $ size $ ratio $ seed_arg))
 
 (* ---- bench / stats --------------------------------------------------------- *)
 
@@ -376,17 +398,18 @@ let bench_cmd =
       & info [ "o"; "out" ] ~doc:"Write the json report to $(docv)."
           ~docv:"FILE")
   in
-  let run path cls bound args size reps seed json out =
+  let run path backend cls bound args size reps seed json out =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
-        let g = Core.Io.load path in
+        let g = Core.Io.load ~backend path in
         let rng = Random.State.make [| seed |] in
         let report =
           Obs.Report.create ~tool:"incgraph-cli"
             ~config:
               [
                 ("graph", Obs.Json.Str path);
+                ("backend", Obs.Json.Str (Core.Digraph.backend_name backend));
                 ("class", Obs.Json.Str cls);
                 ("size", Obs.Json.Int size);
                 ("reps", Obs.Json.Int reps);
@@ -462,8 +485,8 @@ let bench_cmd =
           report.")
     Term.(
       ret
-        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ size_arg
-       $ reps $ seed_arg $ json_flag $ out))
+        (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg
+       $ size_arg $ reps $ seed_arg $ json_flag $ out))
 
 let stats_cmd =
   let batches =
@@ -479,11 +502,11 @@ let stats_cmd =
             "Also print the per-batch latency and GC/allocation histograms \
              (ASCII bars, one row per non-empty bucket).")
   in
-  let run path cls bound args batches size seed json histo =
+  let run path backend cls bound args batches size seed json histo =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
-        let g = Core.Io.load path in
+        let g = Core.Io.load ~backend path in
         let rng = Random.State.make [| seed |] in
         let o, apply, _, inc_name, _ = session_with_obs g spec in
         for _ = 1 to batches do
@@ -526,8 +549,8 @@ let stats_cmd =
           per-batch latency and GC histograms, as text or json.")
     Term.(
       ret
-        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches
-       $ size_arg $ seed_arg $ json_flag $ histo))
+        (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg
+       $ batches $ size_arg $ seed_arg $ json_flag $ histo))
 
 (* ---- trace / explain ------------------------------------------------------- *)
 
@@ -554,11 +577,11 @@ let trace_cmd =
           ~doc:"Ring-buffer capacity; older events beyond it are dropped."
           ~docv:"N")
   in
-  let run path cls bound args batches size seed out cap =
+  let run path backend cls bound args batches size seed out cap =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
-        let g = Core.Io.load path in
+        let g = Core.Io.load ~backend path in
         let rng = Random.State.make [| seed |] in
         let tr = Tracer.create ~capacity:cap () in
         let _, apply, _, inc_name, _ = session_with_obs ~trace:tr g spec in
@@ -588,8 +611,8 @@ let trace_cmd =
           chrome://tracing. Deterministic for a fixed graph and seed.")
     Term.(
       ret
-        (const run $ graph_arg $ cls_arg $ bound_arg $ qargs_arg $ batches_arg
-       $ size_arg $ seed_arg $ out $ cap))
+        (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg
+       $ batches_arg $ size_arg $ seed_arg $ out $ cap))
 
 (* Worked explanation of the Figure 9 gadget: Δ1 is output-silent yet the
    trace shows Ω(cycle) settling work; Δ2 flips the whole answer on. *)
@@ -645,7 +668,7 @@ let explain_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"CLASS" ~doc:"Query class: kws, rpq, scc, sim or iso.")
   in
-  let run gadget limit path cls bound args batches size seed =
+  let run gadget limit path backend cls bound args batches size seed =
     match gadget with
     | Some n when n >= 2 ->
         explain_gadget n limit;
@@ -660,7 +683,7 @@ let explain_cmd =
             match qspec_of ~cls ~bound ~args with
             | Error e -> `Error (false, e)
             | Ok spec ->
-                let g = Core.Io.load path in
+                let g = Core.Io.load ~backend path in
                 let rng = Random.State.make [| seed |] in
                 let tr = Tracer.create () in
                 let _, apply, _, inc_name, _ =
@@ -691,8 +714,8 @@ let explain_cmd =
           traces Ω(n) settling work, Δ2 then flips the answer on.")
     Term.(
       ret
-        (const run $ gadget $ limit $ graph_opt $ cls_opt $ bound_arg
-       $ qargs_arg $ batches_arg $ size_arg $ seed_arg))
+        (const run $ gadget $ limit $ graph_opt $ backend_arg $ cls_opt
+       $ bound_arg $ qargs_arg $ batches_arg $ size_arg $ seed_arg))
 
 (* ---- compare -------------------------------------------------------------- *)
 
@@ -882,13 +905,13 @@ let fuzz_cmd =
       & info [ "out-dir" ]
           ~doc:"Directory for failure reproduction artifacts." ~docv:"DIR")
   in
-  let run algo steps nodes edges labels out_dir seed =
+  let run algo steps nodes edges labels out_dir backend seed =
     let size : C.Scenarios.size = { nodes; edges; labels } in
     let rng = Random.State.make [| seed |] in
     let scenarios =
-      if algo = "all" then Ok (C.Scenarios.all ~rng ~size ())
+      if algo = "all" then Ok (C.Scenarios.all ~backend ~rng ~size ())
       else
-        match C.Scenarios.by_name ~rng ~size algo with
+        match C.Scenarios.by_name ~backend ~rng ~size algo with
         | Some s -> Ok [ s ]
         | None -> Error (Printf.sprintf "unknown fuzz scenario %S" algo)
     in
@@ -898,8 +921,11 @@ let fuzz_cmd =
         let failed = ref false in
         List.iter
           (fun (s : C.Scenarios.t) ->
-            Format.printf "fuzz %-6s seed %d: %d steps against batch oracle...@?"
-              s.C.Scenarios.name seed steps;
+            Format.printf
+              "fuzz %-6s seed %d (%s): %d steps against batch oracle...@?"
+              s.C.Scenarios.name seed
+              (Core.Digraph.backend_name backend)
+              steps;
             let result, t =
               time (fun () ->
                   C.Harness.run ~make:s.C.Scenarios.make
@@ -934,7 +960,8 @@ let fuzz_cmd =
           ddmin-shrunk to minimal reproducers.")
     Term.(
       ret
-        (const run $ algo $ steps $ nodes $ edges $ labels $ out_dir $ seed_arg))
+        (const run $ algo $ steps $ nodes $ edges $ labels $ out_dir
+       $ backend_arg $ seed_arg))
 
 (* ---- journal / replay / snapshot / undo ------------------------------------ *)
 

@@ -1,0 +1,327 @@
+(* Flat CSR adjacency with a sorted delta overlay.
+
+   The base representation is classic compressed-sparse-row, one copy per
+   direction: [s_off]/[s_adj] give each node's successor row as a slice of
+   one flat Bigarray of ints ([s_adj.{s_off.{v}} .. s_adj.{s_off.{v+1}-1}],
+   ascending), and [p_off]/[p_adj] the predecessor rows. Bigarrays live
+   off the OCaml heap, so the adjacency of a million-node graph costs the
+   GC nothing to scan and iteration is a linear walk over unboxed ints.
+
+   The base arrays are frozen: they describe the graph as of the last
+   {!compact} and cover only the first [base_n] nodes (later nodes have
+   empty base rows). Mutations land in a small per-node overlay of sorted
+   lists, maintained under two invariants:
+
+     add ∩ base = ∅       (an overlay-add is never also a base entry)
+     del ⊆ base           (an overlay-del tombstones an existing base entry)
+
+   so membership is: in [add] → present; in [del] → absent; else binary
+   search the base row. Sorted iteration is a two-finger merge of the
+   (sorted) base row with the add list, skipping tombstones — sorted by
+   construction, no per-call sort, unlike the Hashtbl backend's
+   fold-and-sort. Degrees are maintained eagerly in [out_deg]/[in_deg],
+   so they stay O(1) regardless of overlay size.
+
+   When the overlay exceeds [max 64 (n_edges/8)] live entries the graph
+   recompacts: fresh base arrays are built in O(n + m) by replaying the
+   merged rows, and the overlay empties. The geometric gap between
+   compactions keeps the amortized per-update cost constant. [compact]
+   never mutates the old arrays in place — it installs fresh ones — so
+   {!copy} can share the (immutable) base arrays and deep-copy only the
+   overlay vectors, making copies O(n) and fully independent. *)
+
+type node = int
+type label = Interner.symbol
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ba_create n : ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+type t = {
+  interner : Interner.t;
+  labels : label Vec.t;
+  by_label : node list Vec.t;
+      (* indexed by symbol; most-recent-first, matching the Hashtbl
+         backend's [v :: old] maintained index byte for byte *)
+  mutable base_n : int;
+  mutable s_off : ba;
+  mutable s_adj : ba;
+  mutable p_off : ba;
+  mutable p_adj : ba;
+  succ_add : node list Vec.t;
+  succ_del : node list Vec.t;
+  pred_add : node list Vec.t;
+  pred_del : node list Vec.t;
+  out_deg : int Vec.t;
+  in_deg : int Vec.t;
+  mutable n_edges : int;
+  mutable overlay : int; (* live entries across the four overlay tables *)
+}
+
+let create ?(hint = 16) () =
+  let g =
+    {
+      interner = Interner.create ();
+      labels = Vec.create ();
+      by_label = Vec.create ();
+      base_n = 0;
+      s_off = ba_create 0;
+      s_adj = ba_create 0;
+      p_off = ba_create 0;
+      p_adj = ba_create 0;
+      succ_add = Vec.create ();
+      succ_del = Vec.create ();
+      pred_add = Vec.create ();
+      pred_del = Vec.create ();
+      out_deg = Vec.create ();
+      in_deg = Vec.create ();
+      n_edges = 0;
+      overlay = 0;
+    }
+  in
+  let hint = max 1 hint in
+  Vec.reserve g.labels hint 0;
+  Vec.reserve g.succ_add hint [];
+  Vec.reserve g.succ_del hint [];
+  Vec.reserve g.pred_add hint [];
+  Vec.reserve g.pred_del hint [];
+  Vec.reserve g.out_deg hint 0;
+  Vec.reserve g.in_deg hint 0;
+  g
+
+let interner g = g.interner
+let intern_label g s = Interner.intern g.interner s
+let n_nodes g = Vec.length g.labels
+let n_edges g = g.n_edges
+let overlay_size g = g.overlay
+let base_nodes g = g.base_n
+
+let mem_node g v = v >= 0 && v < n_nodes g
+
+let check_node g v =
+  if not (mem_node g v) then invalid_arg "Digraph: unknown node"
+
+let label g v =
+  check_node g v;
+  Vec.get g.labels v
+
+let label_name g v = Interner.name g.interner (label g v)
+
+let add_node_sym g l =
+  let v = Vec.push g.labels l in
+  ignore (Vec.push g.succ_add []);
+  ignore (Vec.push g.succ_del []);
+  ignore (Vec.push g.pred_add []);
+  ignore (Vec.push g.pred_del []);
+  ignore (Vec.push g.out_deg 0);
+  ignore (Vec.push g.in_deg 0);
+  while Vec.length g.by_label <= l do
+    ignore (Vec.push g.by_label [])
+  done;
+  Vec.set g.by_label l (v :: Vec.get g.by_label l);
+  v
+
+let add_node g s = add_node_sym g (intern_label g s)
+
+(* ---- sorted overlay lists ---- *)
+
+let rec mem_sorted x = function
+  | [] -> false
+  | y :: tl -> if y < x then mem_sorted x tl else y = x
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: tl as l ->
+      if x < y then x :: l else if x = y then l else y :: insert_sorted x tl
+
+let rec remove_sorted x = function
+  | [] -> []
+  | y :: tl ->
+      if y = x then tl else if y < x then y :: remove_sorted x tl else y :: tl
+
+(* ---- base rows ---- *)
+
+let in_base (off : ba) (adj : ba) base_n v w =
+  v < base_n
+  &&
+  let lo = ref (Bigarray.Array1.unsafe_get off v)
+  and hi = ref (Bigarray.Array1.unsafe_get off (v + 1)) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = Bigarray.Array1.unsafe_get adj mid in
+    if x = w then found := true else if x < w then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+(* Merge one (sorted) base row with the add list, skipping tombstones:
+   sorted by construction. Tombstones only ever name base entries, so both
+   cursors advance in lockstep. *)
+let iter_row f (off : ba) (adj : ba) base_n adds dels v =
+  let stop = if v < base_n then Bigarray.Array1.unsafe_get off (v + 1) else 0 in
+  let rec go i adds dels =
+    if i >= stop then List.iter f adds
+    else
+      let b = Bigarray.Array1.unsafe_get adj i in
+      match dels with
+      | d :: dtl when d = b -> go (i + 1) adds dtl
+      | _ -> (
+          match adds with
+          | a :: atl when a < b ->
+              f a;
+              go i atl dels
+          | _ ->
+              f b;
+              go (i + 1) adds dels)
+  in
+  go (if v < base_n then Bigarray.Array1.unsafe_get off v else 0) adds dels
+
+let iter_succ_sorted f g v =
+  check_node g v;
+  iter_row f g.s_off g.s_adj g.base_n (Vec.get g.succ_add v)
+    (Vec.get g.succ_del v) v
+
+let iter_pred_sorted f g v =
+  check_node g v;
+  iter_row f g.p_off g.p_adj g.base_n (Vec.get g.pred_add v)
+    (Vec.get g.pred_del v) v
+
+let mem_edge g u v =
+  mem_node g u && mem_node g v
+  && (mem_sorted v (Vec.get g.succ_add u)
+     || in_base g.s_off g.s_adj g.base_n u v
+        && not (mem_sorted v (Vec.get g.succ_del u)))
+
+(* ---- compaction ---- *)
+
+let rebuild g (off : ba) (adj : ba) ~adds ~dels ~m =
+  let n = n_nodes g in
+  let off' = ba_create (n + 1) and adj' = ba_create m in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set off' v !pos;
+    iter_row
+      (fun w ->
+        Bigarray.Array1.unsafe_set adj' !pos w;
+        incr pos)
+      off adj g.base_n (Vec.get adds v) (Vec.get dels v) v
+  done;
+  Bigarray.Array1.unsafe_set off' n !pos;
+  assert (!pos = m);
+  (off', adj')
+
+let compact g =
+  let n = n_nodes g in
+  let s_off, s_adj =
+    rebuild g g.s_off g.s_adj ~adds:g.succ_add ~dels:g.succ_del ~m:g.n_edges
+  in
+  let p_off, p_adj =
+    rebuild g g.p_off g.p_adj ~adds:g.pred_add ~dels:g.pred_del ~m:g.n_edges
+  in
+  g.s_off <- s_off;
+  g.s_adj <- s_adj;
+  g.p_off <- p_off;
+  g.p_adj <- p_adj;
+  g.base_n <- n;
+  for v = 0 to n - 1 do
+    Vec.set g.succ_add v [];
+    Vec.set g.succ_del v [];
+    Vec.set g.pred_add v [];
+    Vec.set g.pred_del v []
+  done;
+  g.overlay <- 0
+
+let maybe_compact g = if g.overlay > max 64 (g.n_edges asr 3) then compact g
+
+(* ---- updates ---- *)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if mem_edge g u v then false
+  else begin
+    (if in_base g.s_off g.s_adj g.base_n u v then begin
+       (* A tombstoned base edge coming back: drop the tombstones. *)
+       Vec.set g.succ_del u (remove_sorted v (Vec.get g.succ_del u));
+       Vec.set g.pred_del v (remove_sorted u (Vec.get g.pred_del v));
+       g.overlay <- g.overlay - 2
+     end
+     else begin
+       Vec.set g.succ_add u (insert_sorted v (Vec.get g.succ_add u));
+       Vec.set g.pred_add v (insert_sorted u (Vec.get g.pred_add v));
+       g.overlay <- g.overlay + 2
+     end);
+    Vec.set g.out_deg u (Vec.get g.out_deg u + 1);
+    Vec.set g.in_deg v (Vec.get g.in_deg v + 1);
+    g.n_edges <- g.n_edges + 1;
+    maybe_compact g;
+    true
+  end
+
+let remove_edge g u v =
+  check_node g u;
+  check_node g v;
+  if not (mem_edge g u v) then false
+  else begin
+    (if mem_sorted v (Vec.get g.succ_add u) then begin
+       Vec.set g.succ_add u (remove_sorted v (Vec.get g.succ_add u));
+       Vec.set g.pred_add v (remove_sorted u (Vec.get g.pred_add v));
+       g.overlay <- g.overlay - 2
+     end
+     else begin
+       Vec.set g.succ_del u (insert_sorted v (Vec.get g.succ_del u));
+       Vec.set g.pred_del v (insert_sorted u (Vec.get g.pred_del v));
+       g.overlay <- g.overlay + 2
+     end);
+    Vec.set g.out_deg u (Vec.get g.out_deg u - 1);
+    Vec.set g.in_deg v (Vec.get g.in_deg v - 1);
+    g.n_edges <- g.n_edges - 1;
+    maybe_compact g;
+    true
+  end
+
+(* ---- views ---- *)
+
+let out_degree g v =
+  check_node g v;
+  Vec.get g.out_deg v
+
+let in_degree g v =
+  check_node g v;
+  Vec.get g.in_deg v
+
+let succ_list g v =
+  let acc = ref [] in
+  iter_succ_sorted (fun w -> acc := w :: !acc) g v;
+  List.rev !acc
+
+let pred_list g v =
+  let acc = ref [] in
+  iter_pred_sorted (fun u -> acc := u :: !acc) g v;
+  List.rev !acc
+
+let nodes_with_label g l =
+  if l >= 0 && l < Vec.length g.by_label then Vec.get g.by_label l else []
+
+let copy g =
+  (* Base arrays are frozen (compaction installs fresh ones), so they are
+     shared; the overlay and index vectors are copied, so the two graphs
+     diverge independently from here on. *)
+  {
+    interner = g.interner;
+    labels = Vec.copy g.labels;
+    by_label = Vec.copy g.by_label;
+    base_n = g.base_n;
+    s_off = g.s_off;
+    s_adj = g.s_adj;
+    p_off = g.p_off;
+    p_adj = g.p_adj;
+    succ_add = Vec.copy g.succ_add;
+    succ_del = Vec.copy g.succ_del;
+    pred_add = Vec.copy g.pred_add;
+    pred_del = Vec.copy g.pred_del;
+    out_deg = Vec.copy g.out_deg;
+    in_deg = Vec.copy g.in_deg;
+    n_edges = g.n_edges;
+    overlay = g.overlay;
+  }

@@ -1,0 +1,66 @@
+(** Flat CSR adjacency with a sorted delta overlay.
+
+    The cache-friendly {!Digraph} backend: successor and predecessor
+    adjacency as compressed-sparse-row slices of flat [Bigarray] int
+    arrays (off the OCaml heap — the GC never scans them), fronted by a
+    small per-node overlay of sorted add/tombstone lists that absorbs
+    edge insertions and deletions. Overlay invariants:
+
+    - [add ∩ base = ∅] — an overlay-add is never also a base entry;
+    - [del ⊆ base] — a tombstone always names a live base entry.
+
+    Sorted iteration is a merge of the base row with the add list,
+    skipping tombstones — sorted by construction, with none of the
+    per-call fold-and-sort the Hashtbl backend pays. The overlay
+    recompacts into fresh base arrays ([O(n + m)]) when it exceeds
+    [max 64 (n_edges/8)] live entries, and on explicit {!compact}.
+
+    This module is not used directly by engines; they see it through the
+    {!Digraph} dispatch ([Digraph.create ~backend:`Csr]). The API below
+    mirrors the slice of {!Digraph} the dispatch needs, with the same
+    semantics — including [nodes_with_label]'s most-recent-first order
+    and [invalid_arg] on unknown nodes. *)
+
+type node = int
+type label = Interner.symbol
+type t
+
+val create : ?hint:int -> unit -> t
+(** Empty graph; [hint] pre-sizes the label, degree and overlay tables
+    for [hint] nodes. *)
+
+val copy : t -> t
+(** O(n): shares the frozen base arrays (compaction installs fresh ones,
+    never mutates in place), deep-copies the overlay — the copy is fully
+    independent, pending deltas included. *)
+
+val add_node : t -> string -> node
+val add_node_sym : t -> label -> node
+val add_edge : t -> node -> node -> bool
+val remove_edge : t -> node -> node -> bool
+
+val compact : t -> unit
+(** Fold the overlay into fresh base arrays; semantically a no-op. *)
+
+val interner : t -> Interner.t
+val intern_label : t -> string -> label
+val label : t -> node -> label
+val label_name : t -> node -> string
+val n_nodes : t -> int
+val n_edges : t -> int
+val mem_node : t -> node -> bool
+val mem_edge : t -> node -> node -> bool
+val out_degree : t -> node -> int
+val in_degree : t -> node -> int
+val iter_succ_sorted : (node -> unit) -> t -> node -> unit
+val iter_pred_sorted : (node -> unit) -> t -> node -> unit
+val succ_list : t -> node -> node list
+val pred_list : t -> node -> node list
+val nodes_with_label : t -> label -> node list
+
+val overlay_size : t -> int
+(** Live overlay entries (adds + tombstones, both directions); 0 right
+    after {!compact}. *)
+
+val base_nodes : t -> int
+(** Nodes covered by the frozen base arrays — how stale the base is. *)

@@ -9,7 +9,19 @@
     interned strings (see {!Interner}). Both successor and predecessor
     adjacency are maintained, with O(1) expected edge insertion, deletion and
     membership. Nodes are never removed (the paper's update model is
-    edge-only; fresh nodes may arrive together with inserted edges). *)
+    edge-only; fresh nodes may arrive together with inserted edges).
+
+    Two backends implement this interface behind {!create}'s [?backend]
+    selector; both present identical views through every accessor below
+    (adjacency, degrees, labels, membership — the cross-backend battery in
+    [test/test_backend.ml] asserts it byte for byte):
+
+    - [`Hashtbl] (the default): per-node hash tables; O(1) expected
+      updates; {!iter_succ_sorted} pays a fold-and-sort per call.
+    - [`Csr]: flat compressed-sparse-row Bigarrays plus a small sorted
+      delta overlay (see {!Csr}); sorted iteration is a merge, sorted by
+      construction, and the adjacency lives off the OCaml heap — the
+      choice for batch traversals over large graphs. *)
 
 type node = int
 type label = Interner.symbol
@@ -18,15 +30,40 @@ type update =
   | Insert of node * node  (** [insert e] — add edge [(u, v)]. *)
   | Delete of node * node  (** [delete e] — remove edge [(u, v)]. *)
 
+type backend = [ `Hashtbl | `Csr ]
+
 type t
 
 (** {1 Construction} *)
 
-val create : ?hint:int -> unit -> t
-(** An empty graph. [hint] pre-sizes internal tables for [hint] nodes. *)
+val create : ?hint:int -> ?backend:backend -> unit -> t
+(** An empty graph. [hint] pre-sizes internal tables for [hint] nodes (on
+    both backends: label/adjacency/degree vectors never reallocate below
+    [hint] nodes). [backend] defaults to [`Hashtbl]. *)
+
+val backend : t -> backend
+
+val backend_name : backend -> string
+(** ["hashtbl"] / ["csr"] — the CLI's [--backend] vocabulary. *)
+
+val backend_of_string : string -> backend option
 
 val copy : t -> t
-(** Deep copy (shares the interner). *)
+(** Deep copy (shares the interner). On the CSR backend this preserves
+    pending overlay deltas and shares only the frozen base arrays; the
+    copy is fully independent. *)
+
+val convert : backend:backend -> t -> t
+(** The same graph rebuilt on the given backend ([g] itself if it already
+    is); shares nothing with the original. Node ids, label names and the
+    {!nodes_with_label} order are preserved. *)
+
+val compact : t -> unit
+(** [`Csr]: fold the delta overlay into fresh base arrays (semantically a
+    no-op; O(n + m)). [`Hashtbl]: nothing. *)
+
+val overlay_size : t -> int
+(** [`Csr]: live overlay entries pending compaction. [`Hashtbl]: 0. *)
 
 val add_node : t -> string -> node
 (** Add a fresh node with the given label string. *)
@@ -66,17 +103,20 @@ val in_degree : t -> node -> int
 val iter_nodes : (node -> unit) -> t -> unit
 
 val iter_succ : (node -> unit) -> t -> node -> unit
-(** Successors in unspecified (hash-table) order, which varies with the
-    process hash seed. Use only where the visit order provably cannot
-    reach certificates, trace events or user-visible output; otherwise use
-    {!iter_succ_sorted}. *)
+(** Successors in unspecified order — hash-table order on [`Hashtbl]
+    (varies with the process hash seed), ascending on [`Csr] (a CSR row
+    has no cheaper unordered walk). Use only where the visit order
+    provably cannot reach certificates, trace events or user-visible
+    output; otherwise use {!iter_succ_sorted}. *)
 
 val iter_pred : (node -> unit) -> t -> node -> unit
 (** Predecessor counterpart of {!iter_succ}; same order caveat. *)
 
 val iter_succ_sorted : (node -> unit) -> t -> node -> unit
 (** Successors in ascending node order — deterministic across hash seeds.
-    Costs an O(d log d) sort of the adjacency keys per call. *)
+    Costs an O(d log d) fold-and-sort per call on [`Hashtbl]; on [`Csr]
+    it is an O(d) merge of the base row with the overlay, sorted by
+    construction. *)
 
 val iter_pred_sorted : (node -> unit) -> t -> node -> unit
 (** Predecessors in ascending node order; see {!iter_succ_sorted}. *)

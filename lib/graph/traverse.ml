@@ -10,7 +10,9 @@ let bfs ?(bound = max_int) ~dir g sources =
         Queue.add s q
       end)
     sources;
-  (* Order-free: BFS levels are unique whatever the expansion order. *)
+  (* Order-free: BFS levels are unique whatever the expansion order. The
+     unsorted iterators are hash-order on the Hashtbl backend and the
+     sorted merge on CSR; either way the result is the same dist map. *)
   let step =
     match dir with
     | `Forward -> (Digraph.iter_succ [@lint.allow "D2"])

@@ -27,6 +27,15 @@ let push v x =
   v.len <- i + 1;
   i
 
+let reserve v n x =
+  if Array.length v.data < n then begin
+    let data = Array.make n x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
 let iter f v =
   for i = 0 to v.len - 1 do f (Array.unsafe_get v.data i) done
 

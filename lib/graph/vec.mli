@@ -23,6 +23,15 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** Append an element and return its index. Amortized O(1). *)
 
+val reserve : 'a t -> int -> 'a -> unit
+(** [reserve v n x] grows the backing store to capacity at least [n],
+    using [x] to fill the (never observed) cells beyond the live prefix.
+    The length is unchanged; subsequent pushes up to [n] do not
+    reallocate. *)
+
+val copy : 'a t -> 'a t
+(** A shallow copy: fresh backing store, same elements. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 
 val iteri : (int -> 'a -> unit) -> 'a t -> unit

@@ -189,6 +189,13 @@ let emit ctx ~(loc : Location.t) rule severity message =
       :: ctx.diags
   end
 
+(* Digraph.iter_succ/iter_pred are flagged because their order is
+   backend-dependent: hash order on the Hashtbl backend, ascending on the
+   CSR backend (whose base-row/overlay merge is sorted by construction,
+   at no extra cost — Csr.iter_succ_sorted IS its unsorted iterator).
+   Code that is order-free on one backend but not the other is exactly
+   the bug class D2 exists to catch, so the rule stays backend-agnostic:
+   use the _sorted iterators or annotate the order-free call site. *)
 let d2_targets =
   [
     ("Hashtbl", "iter");

@@ -7,24 +7,30 @@
     giant strongly connected core mimicking LiveJournal's (where the
     largest SCC covers ~77% of the graph, the property Exp-1(3) calls out).
 
-    All generators are deterministic in the given [Random.State]. *)
+    All generators are deterministic in the given [Random.State], and in
+    particular produce the identical graph whichever {!Ig_graph.Digraph}
+    [backend] they build on (default [`Hashtbl]): edge-membership answers
+    agree across backends, so the RNG draw sequence does too. *)
 
 val uniform :
-  rng:Random.State.t -> nodes:int -> edges:int -> labels:int ->
+  ?backend:Ig_graph.Digraph.backend ->
+  rng:Random.State.t -> nodes:int -> edges:int -> labels:int -> unit ->
   Ig_graph.Digraph.t
 (** Uniform random simple digraph; labels [l0 … l{labels-1}] assigned
     uniformly. Self-loops excluded; requested edge count is met exactly
     unless the graph saturates. *)
 
 val dag :
-  rng:Random.State.t -> nodes:int -> edges:int -> labels:int ->
+  ?backend:Ig_graph.Digraph.backend ->
+  rng:Random.State.t -> nodes:int -> edges:int -> labels:int -> unit ->
   Ig_graph.Digraph.t
 (** Like {!uniform} but every edge is oriented from the smaller to the
     larger node id, yielding a DAG — the skeleton of hierarchy-shaped
     graphs like DBpedia, whose strongly connected components are small. *)
 
 val preferential :
-  rng:Random.State.t -> nodes:int -> edges:int -> labels:int ->
+  ?backend:Ig_graph.Digraph.backend ->
+  rng:Random.State.t -> nodes:int -> edges:int -> labels:int -> unit ->
   Ig_graph.Digraph.t
 (** Preferential attachment: edge endpoints are drawn from a pool that
     repeats nodes once per incident edge, yielding a heavy-tailed degree
@@ -39,8 +45,9 @@ val plant_scc :
     0.5) so the component does not shatter on a single deletion. *)
 
 val hierarchy :
+  ?backend:Ig_graph.Digraph.backend ->
   rng:Random.State.t -> nodes:int -> edges:int -> labels:int ->
-  hub_fraction:float -> Ig_graph.Digraph.t
+  hub_fraction:float -> unit -> Ig_graph.Digraph.t
 (** Knowledge-graph shape: a [hub_fraction] slice of high-id nodes act as
     category/type hubs; ~90% of edges point from a uniform node to a hub
     above it and ~10% are short forward entity-to-entity links. The result

@@ -36,5 +36,9 @@ val synthetic : spec
 (** The paper's synthetic family: |E| = 2|V|, 100 labels, uniform. *)
 
 val instantiate :
-  ?scale:float -> rng:Random.State.t -> spec -> Ig_graph.Digraph.t
-(** Generate a graph for the profile at the given scale factor. *)
+  ?scale:float ->
+  ?backend:Ig_graph.Digraph.backend ->
+  rng:Random.State.t -> spec -> Ig_graph.Digraph.t
+(** Generate a graph for the profile at the given scale factor, on the
+    given {!Ig_graph.Digraph} backend (default [`Hashtbl]; the graph is
+    identical either way). *)

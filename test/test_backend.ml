@@ -1,0 +1,340 @@
+(* Cross-backend differential battery: the Hashtbl and CSR digraph
+   backends driven through identical op sequences — distilled from the
+   unit tests in test_graph.ml plus seeded random streams — with every
+   observable view (sorted adjacency, degrees, labels, edge membership,
+   operation return values) compared byte for byte after every op,
+   including immediately around forced [Digraph.compact] points.
+
+   The qcheck properties pin the overlay laws: compact is a semantic
+   no-op and idempotent; arbitrary interleavings of insert / delete /
+   absent-delete / duplicate-insert / compact agree with a batch-built
+   graph; and copy of an un-compacted CSR graph is deep — pending deltas
+   are preserved and the copy is independent of the original. *)
+
+open Ig_graph
+
+let check = Alcotest.check
+
+(* ---- op language ---------------------------------------------------------- *)
+
+type op =
+  | Add_node of string
+  | Ins of int * int (* endpoints reduced modulo the current node count *)
+  | Del of int * int
+  | Compact
+
+let pp_op = function
+  | Add_node l -> Printf.sprintf "node %s" l
+  | Ins (u, v) -> Printf.sprintf "+%d-%d" u v
+  | Del (u, v) -> Printf.sprintf "-%d-%d" u v
+  | Compact -> "compact"
+
+(* Apply one op and render its result, so return values (new-edge flags,
+   node ids) are part of the differential comparison, not just the state. *)
+let apply_op g op =
+  let n = Digraph.n_nodes g in
+  match op with
+  | Add_node l -> Printf.sprintf "node=%d" (Digraph.add_node g l)
+  | Ins (u, v) ->
+      if n = 0 then "skip"
+      else Printf.sprintf "ins=%b" (Digraph.add_edge g (u mod n) (v mod n))
+  | Del (u, v) ->
+      if n = 0 then "skip"
+      else Printf.sprintf "del=%b" (Digraph.remove_edge g (u mod n) (v mod n))
+  | Compact ->
+      Digraph.compact g;
+      "compacted"
+
+(* ---- the observable view --------------------------------------------------- *)
+
+(* Everything a client can see, rendered canonically: node/edge counts,
+   per-node label, degrees and sorted adjacency in both directions, the
+   label index (most-recent-first, like Hashtbl's), and — via an explicit
+   [mem_edge] sweep — the membership relation, which on CSR exercises the
+   base binary search plus add/tombstone overlay paths independently of
+   the merge iterators. *)
+let view g =
+  let buf = Buffer.create 512 in
+  let n = Digraph.n_nodes g in
+  Buffer.add_string buf (Printf.sprintf "n=%d m=%d\n" n (Digraph.n_edges g));
+  for v = 0 to n - 1 do
+    let succs = ref [] and preds = ref [] in
+    Digraph.iter_succ_sorted (fun w -> succs := w :: !succs) g v;
+    Digraph.iter_pred_sorted (fun u -> preds := u :: !preds) g v;
+    let show l = String.concat "," (List.map string_of_int (List.rev l)) in
+    Buffer.add_string buf
+      (Printf.sprintf "%d:%s out=%d in=%d s=[%s] p=[%s]\n" v
+         (Digraph.label_name g v) (Digraph.out_degree g v)
+         (Digraph.in_degree g v) (show !succs) (show !preds))
+  done;
+  let seen = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    let l = Digraph.label g v in
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      Buffer.add_string buf
+        (Printf.sprintf "L:%s=[%s]\n" (Digraph.label_name g v)
+           (String.concat ","
+              (List.map string_of_int (Digraph.nodes_with_label g l))))
+    end
+  done;
+  if n <= 48 then begin
+    Buffer.add_string buf "mem=";
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if Digraph.mem_edge g u v then
+          Buffer.add_string buf (Printf.sprintf "%d-%d;" u v)
+      done
+    done;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+(* ---- the differential runner ----------------------------------------------- *)
+
+(* Drive both backends through [ops]; with [compact_every = k > 0] the CSR
+   side is additionally compacted every k ops, so views are compared both
+   right after and right before forced compaction points. *)
+let run_diff ?(compact_every = 0) ops =
+  let gh = Digraph.create ~backend:`Hashtbl () in
+  let gc = Digraph.create ~backend:`Csr () in
+  List.iteri
+    (fun i op ->
+      let rh = apply_op gh op and rc = apply_op gc op in
+      if rh <> rc then
+        Alcotest.failf "op %d (%s): results diverge: hashtbl %s, csr %s" i
+          (pp_op op) rh rc;
+      if compact_every > 0 && (i + 1) mod compact_every = 0 then
+        Digraph.compact gc;
+      let vh = view gh and vc = view gc in
+      if vh <> vc then
+        Alcotest.failf "op %d (%s): views diverge\n--- hashtbl\n%s--- csr\n%s"
+          i (pp_op op) vh vc)
+    ops;
+  (gh, gc)
+
+(* ---- distilled unit sequences ---------------------------------------------- *)
+
+(* The Digraph cases of test_graph.ml, replayed as op streams: basics
+   (duplicate insert, shared labels), remove (absent delete), degrees,
+   self loops, and the apply-batch sequence. *)
+let distilled =
+  [
+    ( "basics",
+      [ Add_node "a"; Add_node "b"; Add_node "a"; Ins (0, 1); Ins (0, 1) ] );
+    ( "remove",
+      [
+        Add_node "x"; Add_node "x"; Add_node "x";
+        Ins (0, 1); Ins (1, 2);
+        Del (0, 1); Del (0, 1); Del (2, 0);
+      ] );
+    ( "degrees",
+      [
+        Add_node "a"; Add_node "b"; Add_node "c";
+        Ins (0, 1); Ins (0, 2); Ins (1, 2);
+      ] );
+    ("self loop", [ Add_node "a"; Ins (0, 0); Del (0, 0); Ins (0, 0) ]);
+    ( "apply batch",
+      [
+        Add_node "x"; Add_node "x"; Add_node "x";
+        Ins (0, 1); Ins (1, 2);
+        Del (0, 1); Ins (2, 0); Ins (2, 0);
+      ] );
+    ( "tombstone undelete",
+      (* Exercise base-row tombstones: build, compact, delete from base,
+         re-insert (undelete), delete again, around more compacts. *)
+      [
+        Add_node "a"; Add_node "b"; Add_node "c"; Add_node "d";
+        Ins (0, 1); Ins (0, 2); Ins (0, 3); Ins (1, 2); Ins (2, 3);
+        Compact;
+        Del (0, 2); Ins (0, 2); Del (0, 2); Del (0, 1);
+        Compact; Compact;
+        Ins (0, 1); Ins (3, 0);
+      ] );
+  ]
+
+let distilled_cases =
+  List.map
+    (fun (name, ops) ->
+      Alcotest.test_case name `Quick (fun () ->
+          ignore (run_diff ops);
+          ignore (run_diff ~compact_every:1 ops);
+          ignore (run_diff ~compact_every:3 ops)))
+    distilled
+
+(* ---- seeded random streams -------------------------------------------------- *)
+
+let random_ops ~seed ~steps =
+  let rng = Random.State.make [| 0xba; seed |] in
+  let labels = [| "a"; "b"; "c" |] in
+  List.init steps (fun _ ->
+      let r = Random.State.int rng 100 in
+      if r < 10 then Add_node labels.(Random.State.int rng 3)
+      else if r < 55 then
+        Ins (Random.State.int rng 64, Random.State.int rng 64)
+      else if r < 95 then
+        Del (Random.State.int rng 64, Random.State.int rng 64)
+      else Compact)
+
+let random_cases =
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun compact_every ->
+          Alcotest.test_case
+            (Printf.sprintf "seed %d, compact every %d" seed compact_every)
+            `Quick
+            (fun () ->
+              let ops = Add_node "a" :: random_ops ~seed ~steps:400 in
+              ignore (run_diff ~compact_every ops)))
+        [ 0; 7 ])
+    [ 1; 2; 3 ]
+
+(* ---- copy / hint regressions ------------------------------------------------ *)
+
+(* The latent inconsistency fixed in this change: copy of a CSR graph
+   with a non-empty overlay must preserve the pending deltas, and the
+   copy must be fully independent of the original (both directions). *)
+let test_copy_preserves_overlay () =
+  let ops = Add_node "a" :: random_ops ~seed:11 ~steps:300 in
+  let _, gc = run_diff ops in
+  (* Grow a fresh overlay on top of whatever state the stream left. *)
+  let n = Digraph.n_nodes gc in
+  for i = 0 to 9 do
+    ignore (Digraph.add_edge gc (i mod n) ((i * 7 + 1) mod n))
+  done;
+  check Alcotest.bool "overlay pending" true (Digraph.overlay_size gc > 0);
+  let v0 = view gc in
+  let c = Digraph.copy gc in
+  check Alcotest.string "copy sees pending deltas" v0 (view c);
+  (* Mutate the original: the copy must not move. *)
+  ignore (Digraph.add_edge gc (n - 1) 0);
+  ignore (Digraph.remove_edge gc 0 ((0 * 7 + 1) mod n));
+  Digraph.compact gc;
+  check Alcotest.string "copy independent of original" v0 (view c);
+  (* Mutate and compact the copy: same view modulo the mutation, and the
+     original's new state is untouched. *)
+  let vg = view gc in
+  Digraph.compact c;
+  check Alcotest.string "compacting the copy is a no-op" v0 (view c);
+  ignore (Digraph.remove_edge c 0 1);
+  check Alcotest.string "original independent of copy" vg (view gc)
+
+let test_hint_presizes () =
+  (* ~hint pre-sizes internal storage on both backends without changing
+     any observable state; over- and under-shooting must both be safe. *)
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun hint ->
+          let g = Digraph.create ~hint ~backend () in
+          check Alcotest.int "empty" 0 (Digraph.n_nodes g);
+          for _ = 1 to 40 do
+            ignore (Digraph.add_node g "x")
+          done;
+          for i = 0 to 38 do
+            ignore (Digraph.add_edge g i (i + 1))
+          done;
+          check Alcotest.int "nodes" 40 (Digraph.n_nodes g);
+          check Alcotest.int "edges" 39 (Digraph.n_edges g);
+          check Alcotest.bool "member" true (Digraph.mem_edge g 0 1))
+        [ 0; 1; 8; 100 ])
+    [ `Hashtbl; `Csr ]
+
+let test_convert_roundtrip () =
+  let ops = Add_node "a" :: random_ops ~seed:21 ~steps:250 in
+  let gh, gc = run_diff ops in
+  let hc = Digraph.convert ~backend:`Csr gh in
+  let ch = Digraph.convert ~backend:`Hashtbl gc in
+  check Alcotest.string "hashtbl->csr" (view gh) (view hc);
+  check Alcotest.string "csr->hashtbl" (view gc) (view ch);
+  check Alcotest.bool "same-backend convert is identity" true
+    (Digraph.convert ~backend:`Hashtbl gh == gh)
+
+(* ---- qcheck properties ------------------------------------------------------ *)
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun i -> Add_node [| "a"; "b"; "c" |].(i)) (int_bound 2));
+        (8, map2 (fun u v -> Ins (u, v)) (int_bound 40) (int_bound 40));
+        (5, map2 (fun u v -> Del (u, v)) (int_bound 40) (int_bound 40));
+        (1, return Compact);
+      ])
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(
+      map (fun ops -> Add_node "a" :: ops) (list_size (int_bound 150) gen_op))
+
+let csr_of ops =
+  let g = Digraph.create ~backend:`Csr () in
+  List.iter (fun op -> ignore (apply_op g op)) ops;
+  g
+
+(* Build a semantically equal graph from scratch in one pass: nodes in id
+   order, surviving edges in sorted order, one final compact. *)
+let batch_rebuild ~backend g =
+  let b = Digraph.create ~hint:(Digraph.n_nodes g) ~backend () in
+  for v = 0 to Digraph.n_nodes g - 1 do
+    ignore (Digraph.add_node b (Digraph.label_name g v))
+  done;
+  Digraph.iter_edges (fun u v -> ignore (Digraph.add_edge b u v)) g;
+  Digraph.compact b;
+  b
+
+let prop_compact_noop =
+  QCheck.Test.make ~count:150 ~name:"compact is a semantic no-op, idempotent"
+    arb_ops (fun ops ->
+      let g = csr_of ops in
+      let v0 = view g in
+      Digraph.compact g;
+      let v1 = view g in
+      let drained = Digraph.overlay_size g = 0 in
+      Digraph.compact g;
+      v0 = v1 && drained && view g = v1)
+
+let prop_interleavings_agree =
+  QCheck.Test.make ~count:150
+    ~name:"arbitrary op interleavings agree with a batch-built graph"
+    arb_ops (fun ops ->
+      let g = csr_of ops in
+      view g = view (batch_rebuild ~backend:`Csr g)
+      && view g = view (batch_rebuild ~backend:`Hashtbl g))
+
+let prop_copy_deep =
+  QCheck.Test.make ~count:150
+    ~name:"copy of an un-compacted csr graph is deep and independent"
+    arb_ops (fun ops ->
+      let g = csr_of ops in
+      let v0 = view g in
+      let c = Digraph.copy g in
+      (* Diverge both sides, then check neither saw the other's writes. *)
+      ignore (apply_op g (Ins (1, 3)));
+      Digraph.compact g;
+      let copy_intact = view c = v0 in
+      let vg = view g in
+      ignore (apply_op c (Del (0, 0)));
+      Digraph.compact c;
+      copy_intact && view g = vg)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "ig_backend"
+    [
+      ("distilled sequences", distilled_cases);
+      ("random streams", random_cases);
+      ( "copy/hint/convert",
+        [
+          Alcotest.test_case "copy preserves pending deltas" `Quick
+            test_copy_preserves_overlay;
+          Alcotest.test_case "hint pre-sizes safely" `Quick test_hint_presizes;
+          Alcotest.test_case "convert roundtrip" `Quick test_convert_roundtrip;
+        ] );
+      ( "overlay laws",
+        qsuite [ prop_compact_noop; prop_interleavings_agree; prop_copy_deep ]
+      );
+    ]

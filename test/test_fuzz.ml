@@ -29,13 +29,13 @@ let steps =
 
 (* ---- differential fuzz, one case per algorithm -------------------------- *)
 
-let scenario_case (name, seed) =
+let scenario_case ~backend (name, seed) =
   Alcotest.test_case
     (Printf.sprintf "%s: %d steps vs batch oracle" name steps)
     `Quick
     (fun () ->
       let rng = Random.State.make [| 0x90; seed |] in
-      match Sc.by_name ~rng name with
+      match Sc.by_name ~backend ~rng name with
       | None -> Alcotest.failf "unknown scenario %s" name
       | Some s -> (
           match
@@ -44,19 +44,23 @@ let scenario_case (name, seed) =
           | Ok n -> check Alcotest.int "steps completed" steps n
           | Error f -> Alcotest.failf "%a" H.pp_failure f))
 
-let scenario_cases =
-  List.map scenario_case
-    [
-      ("kws", 101);
-      ("rpq", 102);
-      ("scc", 103);
-      ("sim", 104);
-      ("iso", 105);
-      (* The Fig. 9 two-cycle gadget: the stream keeps toggling the Δ1/Δ2
-         bridge edges whose interaction the RPQ unboundedness proof turns
-         on. *)
-      ("gadget", 106);
-    ]
+let scenario_seeds =
+  [
+    ("kws", 101);
+    ("rpq", 102);
+    ("scc", 103);
+    ("sim", 104);
+    ("iso", 105);
+    (* The Fig. 9 two-cycle gadget: the stream keeps toggling the Δ1/Δ2
+       bridge edges whose interaction the RPQ unboundedness proof turns
+       on. *)
+    ("gadget", 106);
+  ]
+
+(* Every scenario runs on both graph backends: the same engines over the
+   CSR + delta-overlay core must agree with the batch oracles too. *)
+let scenario_cases = List.map (scenario_case ~backend:`Hashtbl) scenario_seeds
+let scenario_cases_csr = List.map (scenario_case ~backend:`Csr) scenario_seeds
 
 (* ---- durable fuzz: journaled do/undo/crash-recover interleavings -------- *)
 
@@ -68,33 +72,38 @@ let scenario_cases =
    to the cheaper differential cases above. *)
 let durable_steps = 200
 
-let durable_case (name, seed) =
+let durable_case ~backend (name, seed) =
   Alcotest.test_case
     (Printf.sprintf "%s: %d journaled do/undo/crash steps" name durable_steps)
     `Quick
     (fun () ->
       let rng = Random.State.make [| 0xd0; seed |] in
-      match Sc.by_name ~rng name with
+      match Sc.by_name ~backend ~rng name with
       | None -> Alcotest.failf "unknown scenario %s" name
       | Some s -> (
           match
             Ig_check.Durable.run ~scenario:s
-              ~dir:(Printf.sprintf "durable_%s" name)
+              ~dir:
+                (Printf.sprintf "durable_%s_%s"
+                   (Digraph.backend_name backend)
+                   name)
               ~steps:durable_steps ~seed ()
           with
           | Ok n -> check Alcotest.int "steps completed" durable_steps n
           | Error msg -> Alcotest.fail msg))
 
-let durable_cases =
-  List.map durable_case
-    [ ("kws", 201); ("rpq", 202); ("scc", 203); ("sim", 204); ("iso", 205) ]
+let durable_seeds =
+  [ ("kws", 201); ("rpq", 202); ("scc", 203); ("sim", 204); ("iso", 205) ]
+
+let durable_cases = List.map (durable_case ~backend:`Hashtbl) durable_seeds
+let durable_cases_csr = List.map (durable_case ~backend:`Csr) durable_seeds
 
 (* ---- stream driver ------------------------------------------------------ *)
 
 let test_stream_deterministic () =
   let run () =
     let grng = Random.State.make [| 99 |] in
-    let g = Ig_workload.Generate.uniform ~rng:grng ~nodes:20 ~edges:50 ~labels:3 in
+    let g = Ig_workload.Generate.uniform ~rng:grng ~nodes:20 ~edges:50 ~labels:3 () in
     let st =
       St.create ~rng:(Random.State.make [| 123 |]) ~focus:[ (0, 1); (2, 3) ] g
     in
@@ -110,7 +119,7 @@ let test_stream_deterministic () =
 
 let test_stream_mixes_ops () =
   let grng = Random.State.make [| 7 |] in
-  let g = Ig_workload.Generate.uniform ~rng:grng ~nodes:15 ~edges:40 ~labels:3 in
+  let g = Ig_workload.Generate.uniform ~rng:grng ~nodes:15 ~edges:40 ~labels:3 () in
   let st = St.create ~rng:(Random.State.make [| 5 |]) g in
   let ins = ref 0 and del = ref 0 and noop = ref 0 and loops = ref 0 in
   for _ = 1 to 500 do
@@ -265,7 +274,9 @@ let () =
   Alcotest.run "ig_check"
     [
       ("differential fuzz", scenario_cases);
+      ("differential fuzz csr", scenario_cases_csr);
       ("durable fuzz", durable_cases);
+      ("durable fuzz csr", durable_cases_csr);
       ( "stream driver",
         [
           Alcotest.test_case "deterministic" `Quick test_stream_deterministic;

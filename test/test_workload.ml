@@ -11,7 +11,7 @@ let check = Alcotest.check
 let rng () = Random.State.make [| 42 |]
 
 let test_uniform_counts () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:500 ~edges:1500 ~labels:10 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:500 ~edges:1500 ~labels:10 () in
   check Alcotest.int "nodes" 500 (Digraph.n_nodes g);
   check Alcotest.int "edges" 1500 (Digraph.n_edges g);
   (* No self loops. *)
@@ -20,7 +20,7 @@ let test_uniform_counts () =
     g
 
 let test_uniform_label_alphabet () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:0 ~labels:7 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:0 ~labels:7 () in
   let seen = Hashtbl.create 8 in
   Digraph.iter_nodes (fun v -> Hashtbl.replace seen (Digraph.label_name g v) ()) g;
   check Alcotest.bool "alphabet bounded" true (Hashtbl.length seen <= 7);
@@ -28,17 +28,17 @@ let test_uniform_label_alphabet () =
 
 let test_uniform_saturation () =
   (* More edges than possible: must terminate with the full simple digraph. *)
-  let g = G.uniform ~rng:(rng ()) ~nodes:5 ~edges:1000 ~labels:2 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:5 ~edges:1000 ~labels:2 () in
   check Alcotest.int "saturated" 20 (Digraph.n_edges g)
 
 let test_uniform_deterministic () =
-  let g1 = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:5 in
-  let g2 = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:5 in
+  let g1 = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:5 () in
+  let g2 = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:5 () in
   check Alcotest.bool "same edges" true
     (List.sort compare (Digraph.edges g1) = List.sort compare (Digraph.edges g2))
 
 let test_preferential_skew () =
-  let g = G.preferential ~rng:(rng ()) ~nodes:2000 ~edges:10000 ~labels:5 in
+  let g = G.preferential ~rng:(rng ()) ~nodes:2000 ~edges:10000 ~labels:5 () in
   check Alcotest.int "edges" 10000 (Digraph.n_edges g);
   let max_deg = ref 0 and sum = ref 0 in
   Digraph.iter_nodes
@@ -52,7 +52,7 @@ let test_preferential_skew () =
   check Alcotest.bool "skewed" true (float_of_int !max_deg > 4.0 *. avg)
 
 let test_plant_scc () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:400 ~edges:100 ~labels:3 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:400 ~edges:100 ~labels:3 () in
   G.plant_scc ~rng:(rng ()) g ~fraction:0.75;
   let biggest =
     List.fold_left
@@ -76,7 +76,7 @@ let test_profiles () =
     [ P.dbpedia_like; P.livej_like; P.synthetic ]
 
 let test_updates_shape () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:900 ~labels:5 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:900 ~labels:5 () in
   let ups = U.generate ~rng:(rng ()) g ~size:100 () in
   check Alcotest.int "size" 100 (List.length ups);
   let ins, del =
@@ -92,13 +92,13 @@ let test_updates_shape () =
     ups
 
 let test_updates_ratio () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:900 ~labels:5 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:900 ~labels:5 () in
   let ups = U.generate ~rng:(rng ()) g ~size:90 ~ratio:5.0 () in
   let ins = List.filter (function Digraph.Insert _ -> true | _ -> false) ups in
   check Alcotest.int "rho=5" 75 (List.length ins)
 
 let test_updates_no_conflicts () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:3 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:100 ~edges:300 ~labels:3 () in
   let ups = U.generate ~rng:(rng ()) g ~size:200 () in
   let seen = Hashtbl.create 64 in
   List.iter
@@ -114,7 +114,7 @@ let test_updates_deterministic () =
   (* Same seed over the same graph ⇒ the identical stream, element for
      element — the fuzz harness replays shrunk reproducers on this
      guarantee. *)
-  let mk () = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:600 ~labels:4 in
+  let mk () = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:600 ~labels:4 () in
   let u1 = U.generate ~rng:(rng ()) (mk ()) ~size:150 () in
   let u2 = U.generate ~rng:(rng ()) (mk ()) ~size:150 () in
   check Alcotest.bool "generate: same seed, same stream" true (u1 = u2);
@@ -143,7 +143,7 @@ let assert_batch_effective name base ups =
     ups
 
 let test_updates_delete_present_edges () =
-  let sparse () = G.uniform ~rng:(rng ()) ~nodes:50 ~edges:10 ~labels:2 in
+  let sparse () = G.uniform ~rng:(rng ()) ~nodes:50 ~edges:10 ~labels:2 () in
   let g = sparse () in
   let ups = U.generate ~rng:(Random.State.make [| 9 |]) g ~size:200 () in
   assert_batch_effective "generate" g ups;
@@ -155,7 +155,7 @@ let test_updates_delete_present_edges () =
   assert_batch_effective "generate_replay" g' ups'
 
 let test_kws_query () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:400 ~labels:5 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:400 ~labels:5 () in
   let q = Q.kws ~rng:(rng ()) g ~m:3 ~b:2 in
   check Alcotest.int "m" 3 (List.length q.Ig_kws.Batch.keywords);
   check Alcotest.int "b" 2 q.Ig_kws.Batch.bound;
@@ -170,7 +170,7 @@ let test_kws_query () =
     q.Ig_kws.Batch.keywords
 
 let test_rpq_query () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:600 ~labels:4 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:200 ~edges:600 ~labels:4 () in
   for seed = 0 to 20 do
     let r = Random.State.make [| seed |] in
     let q = Q.rpq ~rng:r g ~size:4 in
@@ -187,7 +187,7 @@ let test_rpq_query () =
   done
 
 let test_iso_query () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:1800 ~labels:3 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:300 ~edges:1800 ~labels:3 () in
   match Q.iso ~rng:(rng ()) g ~nodes:4 ~edges:5 with
   | None -> Alcotest.fail "no pattern sampled from a dense graph"
   | Some p ->
@@ -199,7 +199,7 @@ let test_iso_query () =
         (Ig_iso.Vf2.find_all g p <> [])
 
 let test_iso_query_sparse_none () =
-  let g = G.uniform ~rng:(rng ()) ~nodes:10 ~edges:0 ~labels:2 in
+  let g = G.uniform ~rng:(rng ()) ~nodes:10 ~edges:0 ~labels:2 () in
   check Alcotest.bool "no pattern" true
     (Q.iso ~rng:(rng ()) g ~nodes:3 ~edges:2 = None)
 
