@@ -4,6 +4,8 @@
      generate   produce a synthetic labeled graph (profiles of Section 6)
      query      answer one query with the batch algorithm
      stream     maintain a query incrementally over a random update stream
+                (with an optional flight recorder + SLO tracker armed)
+     top        ASCII dashboard over a stream --metrics-out directory
      fuzz       differential soak: incremental engines vs batch oracles
      bench      incremental vs batch on one query, with cost counters
      stats      cost-accounting snapshot of one incremental session
@@ -21,6 +23,8 @@
      incgraph query -g kg.txt kws -b 2 actor award
      incgraph query -g kg.txt scc
      incgraph stream -g kg.txt --batches 5 --size 500 kws -b 2 actor award
+     incgraph stream -g kg.txt --metrics-out m --slo slo.cfg scc
+     incgraph top m
      incgraph fuzz --algo scc --steps 5000 --seed 2017
      incgraph bench -g kg.txt --size 500 --json scc
      incgraph stats -g kg.txt --json kws -b 2 actor award
@@ -233,7 +237,74 @@ let query_cmd =
     Term.(
       ret (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg))
 
-(* ---- stream ----------------------------------------------------------------- *)
+(* ---- stream / top ---------------------------------------------------------- *)
+
+module Obs = Core.Obs
+
+(* Build an obs/trace-carrying incremental engine over a copy of [g],
+   keeping the per-batch ΔO summary and final answer description the
+   live monitor prints. *)
+let stream_session ?(trace = Obs.Tracer.noop) g spec =
+  let o = Obs.create () in
+  let copy = Core.Digraph.copy g in
+  let sess update describe = (o, update, describe) in
+  match spec with
+  | Qkws q ->
+      let s = Core.Kws.Inc.init ~obs:o ~trace copy q in
+      sess
+        (fun ups ->
+          let d = Core.Kws.Inc.apply_batch s ups in
+          Printf.sprintf "roots +%d/-%d"
+            (List.length d.Core.Kws.Inc.added)
+            (List.length d.Core.Kws.Inc.removed))
+        (fun () ->
+          Printf.sprintf "%d roots"
+            (List.length (Core.Kws.Inc.match_roots s)))
+  | Qrpq q ->
+      let a = Core.Nfa.compile (Core.Digraph.interner copy) q in
+      let s = Core.Rpq.Inc.init ~obs:o ~trace copy a in
+      sess
+        (fun ups ->
+          let d = Core.Rpq.Inc.apply_batch s ups in
+          Printf.sprintf "pairs +%d/-%d"
+            (List.length d.Core.Rpq.Inc.added)
+            (List.length d.Core.Rpq.Inc.removed))
+        (fun () ->
+          Printf.sprintf "%d pairs" (List.length (Core.Rpq.Inc.matches s)))
+  | Qscc ->
+      let s = Core.Scc.Inc.init ~obs:o ~trace copy in
+      sess
+        (fun ups ->
+          let d = Core.Scc.Inc.apply_batch s ups in
+          Printf.sprintf "components -%d/+%d"
+            (List.length d.Core.Scc.Inc.removed)
+            (List.length d.Core.Scc.Inc.added))
+        (fun () ->
+          Printf.sprintf "%d components"
+            (List.length (Core.Scc.Inc.components s)))
+  | Qiso (labels, edges) ->
+      let p = Core.Iso.Pattern.create ~labels ~edges in
+      let s = Core.Iso.Inc.init ~obs:o ~trace copy p in
+      sess
+        (fun ups ->
+          let d = Core.Iso.Inc.apply_batch s ups in
+          Printf.sprintf "matches +%d/-%d"
+            (List.length d.Core.Iso.Inc.added)
+            (List.length d.Core.Iso.Inc.removed))
+        (fun () ->
+          Printf.sprintf "%d matches" (List.length (Core.Iso.Inc.matches s)))
+  | Qsim (labels, edges) ->
+      let p = Core.Iso.Pattern.create ~labels ~edges in
+      let s = Core.Sim.Inc.init ~obs:o ~trace copy p in
+      sess
+        (fun ups ->
+          let d = Core.Sim.Inc.apply_batch s ups in
+          Printf.sprintf "pairs +%d/-%d"
+            (List.length d.Core.Sim.Inc.added)
+            (List.length d.Core.Sim.Inc.removed))
+        (fun () ->
+          Printf.sprintf "%d pairs"
+            (List.length (Core.Sim.Batch.pairs (Core.Sim.Inc.relation s))))
 
 let stream_cmd =
   let batches =
@@ -245,93 +316,355 @@ let stream_cmd =
   let ratio =
     Arg.(value & opt float 1.0 & info [ "ratio" ] ~doc:"Insert/delete ratio ρ.")
   in
-  let run path backend cls bound args batches size ratio seed =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "Run the flight recorder: write the OpenMetrics snapshot ring \
+             (metrics-NNNNNN.prom), the stable metrics.prom scrape target \
+             and the metrics.jsonl history into $(docv), created if \
+             missing. Inspect with $(b,incgraph top)."
+          ~docv:"DIR")
+  in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "slo" ]
+          ~doc:
+            "Arm the SLO budgets in $(docv) — lines of NAME SOURCE LIMIT \
+             [trip=K] [clear=K] with SOURCE one of p99:H, p50:H, \
+             ratio:A/B, gauge:G, counter:C. Trips emit Slo_violation trace \
+             events and a final summary line."
+          ~docv:"CFG")
+  in
+  let every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ]
+          ~doc:
+            "Flight-recorder cadence in applied unit updates (default: one \
+             snapshot per batch)."
+          ~docv:"N")
+  in
+  let retain_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "retain" ]
+          ~doc:"Snapshot files (and jsonl lines) kept in the ring."
+          ~docv:"N")
+  in
+  let det_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic-metrics" ]
+          ~doc:
+            "Drop clock- and GC-derived series from the snapshots so two \
+             runs of the same update sequence emit byte-identical files.")
+  in
+  let run path backend cls bound args batches size ratio seed metrics_out
+      slo_cfg every retain det =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
-    | Ok spec ->
-        let g = load ~backend path in
-        let rng = Random.State.make [| seed |] in
-        let step describe update =
-          for round = 1 to batches do
-            let ups = Core.Workload.Updates.generate ~rng g ~size ~ratio () in
-            Core.Digraph.apply_batch g ups (* keep generator in sync *);
-            let summary, t = time (fun () -> update ups) in
-            Format.printf "round %d: |ΔG|=%d  %s  (%.3fs)@." round
-              (List.length ups) summary t
-          done;
-          Format.printf "final: %s@." (describe ())
+    | Ok spec -> (
+        let slo =
+          match slo_cfg with
+          | None -> Ok None
+          | Some p -> (
+              match
+                Obs.Slo.of_config
+                  (In_channel.with_open_text p In_channel.input_all)
+              with
+              | Ok rules -> Ok (Some (Obs.Slo.create rules))
+              | Error e -> Error (Printf.sprintf "%s: %s" p e))
         in
-        (match spec with
-        | Qkws q ->
-            let s = Core.Kws_session.create (Core.Digraph.copy g) q in
-            step
-              (fun () ->
-                Printf.sprintf "%d roots"
-                  (List.length (Core.Kws_session.answer s)))
-              (fun ups ->
-                let d = Core.Kws_session.update s ups in
-                Printf.sprintf "roots +%d/-%d"
-                  (List.length d.Core.Kws.Inc.added)
-                  (List.length d.Core.Kws.Inc.removed))
-        | Qrpq q ->
-            let s = Core.Rpq_session.create (Core.Digraph.copy g) q in
-            step
-              (fun () ->
-                Printf.sprintf "%d pairs"
-                  (List.length (Core.Rpq_session.answer s)))
-              (fun ups ->
-                let d = Core.Rpq_session.update s ups in
-                Printf.sprintf "pairs +%d/-%d"
-                  (List.length d.Core.Rpq.Inc.added)
-                  (List.length d.Core.Rpq.Inc.removed))
-        | Qscc ->
-            let s = Core.Scc_session.create (Core.Digraph.copy g) () in
-            step
-              (fun () ->
-                Printf.sprintf "%d components"
-                  (List.length (Core.Scc_session.answer s)))
-              (fun ups ->
-                let d = Core.Scc_session.update s ups in
-                Printf.sprintf "components -%d/+%d"
-                  (List.length d.Core.Scc.Inc.removed)
-                  (List.length d.Core.Scc.Inc.added))
-        | Qiso (labels, edges) ->
-            let p = Core.Iso.Pattern.create ~labels ~edges in
-            let s = Core.Iso_session.create (Core.Digraph.copy g) p in
-            step
-              (fun () ->
-                Printf.sprintf "%d matches"
-                  (List.length (Core.Iso_session.answer s)))
-              (fun ups ->
-                let d = Core.Iso_session.update s ups in
-                Printf.sprintf "matches +%d/-%d"
-                  (List.length d.Core.Iso.Inc.added)
-                  (List.length d.Core.Iso.Inc.removed))
-        | Qsim (labels, edges) ->
-            let p = Core.Iso.Pattern.create ~labels ~edges in
-            let s = Core.Sim_session.create (Core.Digraph.copy g) p in
-            step
-              (fun () ->
-                Printf.sprintf "%d pairs"
-                  (List.length (Core.Sim_session.answer s)))
-              (fun ups ->
-                let d = Core.Sim_session.update s ups in
-                Printf.sprintf "pairs +%d/-%d"
-                  (List.length d.Core.Sim.Inc.added)
-                  (List.length d.Core.Sim.Inc.removed)));
-        `Ok ()
+        match slo with
+        | Error e -> `Error (false, e)
+        | Ok slo ->
+            let g = load ~backend path in
+            let rng = Random.State.make [| seed |] in
+            let tr =
+              if Option.is_some slo || Option.is_some metrics_out then
+                Obs.Tracer.create ()
+              else Obs.Tracer.noop
+            in
+            let o, update, describe = stream_session ~trace:tr g spec in
+            let flight =
+              Option.map
+                (fun dir ->
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  let every =
+                    match every with Some n -> n | None -> max 1 size
+                  in
+                  ( Obs.Flight.create ~every ~retain ~deterministic:det ?slo
+                      ~trace:tr ~dir ~obs:o (),
+                    every ))
+                metrics_out
+            in
+            for round = 1 to batches do
+              let ups =
+                Core.Workload.Updates.generate ~rng g ~size ~ratio ()
+              in
+              Core.Digraph.apply_batch g ups (* keep generator in sync *);
+              let summary, t = time (fun () -> update ups) in
+              (match flight with
+              | Some (fr, _) -> List.iter (fun _ -> Obs.Flight.tick fr) ups
+              | None ->
+                  Option.iter
+                    (fun s -> ignore (Obs.Slo.evaluate s ~obs:o ~trace:tr))
+                    slo);
+              Format.printf "round %d: |ΔG|=%d  %s  (%.3fs)@." round
+                (List.length ups) summary t
+            done;
+            Format.printf "final: %s@." (describe ());
+            Option.iter
+              (fun (fr, every) ->
+                (* Capture the final state unless the cadence just did. *)
+                if Obs.Flight.snapshots fr = 0 || Obs.Flight.updates fr mod every <> 0
+                then Obs.Flight.snapshot fr;
+                Format.printf
+                  "metrics: %d snapshot(s) over %d update(s) -> %s@."
+                  (Obs.Flight.snapshots fr) (Obs.Flight.updates fr)
+                  (Obs.Flight.dir fr))
+              flight;
+            Option.iter
+              (fun s ->
+                let tripped = Obs.Slo.tripped s in
+                Format.printf "SLO violations: %d%s@." (Obs.Slo.violations s)
+                  (if tripped = [] then ""
+                   else " (tripped: " ^ String.concat ", " tripped ^ ")"))
+              slo;
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "stream"
-       ~doc:"Maintain a query incrementally over a random update stream.")
+       ~doc:
+         "Maintain a query incrementally over a random update stream. With \
+          $(b,--metrics-out), snapshot the engine's metrics registry into \
+          an OpenMetrics flight-recorder ring on a logical (update-count) \
+          cadence; with $(b,--slo), evaluate declarative cost budgets at \
+          each snapshot and report violations.")
     Term.(
       ret
         (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg
-       $ batches $ size $ ratio $ seed_arg))
+       $ batches $ size $ ratio $ seed_arg $ metrics_out $ slo_arg $ every_arg
+       $ retain_arg $ det_arg))
+
+(* `incgraph top` — one-shot ASCII dashboard over a flight-recorder
+   directory: latest exposition, counter deltas against the previous ring
+   snapshot, histogram quantiles off the cumulative buckets, SLO state
+   from the jsonl history. Reads only what stream wrote. *)
+let top_cmd =
+  let module Om = Obs.Openmetrics in
+  let dir_pos =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Flight-recorder directory (from stream --metrics-out).")
+  in
+  let skey (s : Om.sample) =
+    s.Om.name
+    ^ String.concat ""
+        (List.map (fun (k, v) -> "|" ^ k ^ "=" ^ v) s.Om.labels)
+  in
+  let ring_files dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 8
+           && String.sub f 0 8 = "metrics-"
+           && Filename.check_suffix f ".prom")
+    |> List.sort String.compare
+  in
+  let pp_label (s : Om.sample) =
+    match s.Om.labels with
+    | [] -> s.Om.name
+    | ls ->
+        s.Om.name ^ "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+        ^ "}"
+  in
+  let run dir =
+    let read path = In_channel.with_open_text path In_channel.input_all in
+    let stable = Filename.concat dir "metrics.prom" in
+    if not (Sys.file_exists stable) then
+      `Error
+        ( false,
+          stable ^ ": not found (run incgraph stream --metrics-out DIR first)"
+        )
+    else
+      match Om.samples (read stable) with
+      | Error e -> `Error (false, Printf.sprintf "%s: %s" stable e)
+      | Ok now ->
+          let prev =
+            match List.rev (ring_files dir) with
+            | _ :: p :: _ -> (
+                match Om.samples (read (Filename.concat dir p)) with
+                | Ok s -> s
+                | Error _ -> [])
+            | _ -> []
+          in
+          let prev_val k =
+            List.fold_left
+              (fun acc s -> if skey s = k then Some s.Om.value else acc)
+              None prev
+          in
+          let ends suf (s : Om.sample) = Filename.check_suffix s.Om.name suf in
+          let find name = List.filter (fun s -> s.Om.name = name) now in
+          (* Snapshot header off the jsonl history, if present. *)
+          let last_line =
+            let jpath = Filename.concat dir "metrics.jsonl" in
+            if not (Sys.file_exists jpath) then None
+            else
+              String.split_on_char '\n' (read jpath)
+              |> List.filter (fun l -> String.trim l <> "")
+              |> List.rev
+              |> function
+              | [] -> None
+              | l :: _ -> Result.to_option (Obs.Json.parse l)
+          in
+          let header =
+            match last_line with
+            | None -> ""
+            | Some j -> (
+                let get k =
+                  Option.bind (Obs.Json.member k j) Obs.Json.to_int_opt
+                in
+                match (get "seq", get "updates") with
+                | Some s, Some u ->
+                    Printf.sprintf " — snapshot %d after %d update(s)" s u
+                | _ -> "")
+          in
+          Format.printf "incgraph top: %s%s@." dir header;
+          let counters = List.filter (ends "_total") now in
+          if counters <> [] then begin
+            Format.printf "@.  %-44s %14s %12s@." "counter" "total" "Δ last";
+            List.iter
+              (fun s ->
+                let d =
+                  match prev_val (skey s) with
+                  | Some p -> Printf.sprintf "%+.0f" (s.Om.value -. p)
+                  | None -> "-"
+                in
+                Format.printf "  %-44s %14.0f %12s@." (pp_label s) s.Om.value d)
+              counters
+          end;
+          let gauges =
+            List.filter
+              (fun s ->
+                (not (ends "_total" s))
+                && (not (ends "_bucket" s))
+                && (not (ends "_sum" s))
+                && not (ends "_count" s))
+              now
+          in
+          if gauges <> [] then begin
+            Format.printf "@.  %-44s %14s@." "gauge" "value";
+            List.iter
+              (fun s ->
+                Format.printf "  %-44s %14.0f@." (pp_label s) s.Om.value)
+              gauges
+          end;
+          let fams =
+            List.filter_map
+              (fun s ->
+                if ends "_count" s && s.Om.labels = [] then
+                  Some (Filename.chop_suffix s.Om.name "_count")
+                else None)
+              now
+          in
+          if fams <> [] then begin
+            Format.printf "@.  %-32s %10s %12s %11s %11s@." "histogram"
+              "count" "sum" "p50 ≤" "p99 ≤";
+            List.iter
+              (fun fam ->
+                let buckets =
+                  List.filter_map
+                    (fun s ->
+                      match List.assoc_opt "le" s.Om.labels with
+                      | Some le -> Some (float_of_string le, s.Om.value)
+                      | None -> None)
+                    (find (fam ^ "_bucket"))
+                in
+                let count =
+                  match find (fam ^ "_count") with
+                  | [ s ] -> s.Om.value
+                  | _ -> 0.
+                in
+                let sum =
+                  match find (fam ^ "_sum") with [ s ] -> s.Om.value | _ -> 0.
+                in
+                let q p =
+                  let rank = p *. count in
+                  let rec go = function
+                    | [] -> infinity
+                    | (le, cum) :: rest -> if cum >= rank then le else go rest
+                  in
+                  go buckets
+                in
+                Format.printf "  %-32s %10.0f %12.4g %11.3g %11.3g@." fam
+                  count sum (q 0.5) (q 0.99))
+              fams
+          end;
+          (* SLO table from the jsonl history; trips total is the
+             greppable bottom line. *)
+          let slo_rows =
+            match Option.bind last_line (Obs.Json.member "slo") with
+            | Some (Obs.Json.Arr rules) ->
+                List.filter_map
+                  (fun r ->
+                    let str k =
+                      Option.bind (Obs.Json.member k r) Obs.Json.to_str_opt
+                    in
+                    let num k =
+                      Option.bind (Obs.Json.member k r) Obs.Json.to_float_opt
+                    in
+                    let tripped =
+                      match Obs.Json.member "tripped" r with
+                      | Some (Obs.Json.Bool b) -> b
+                      | _ -> false
+                    in
+                    let trips =
+                      Option.value ~default:0
+                        (Option.bind (Obs.Json.member "trips" r)
+                           Obs.Json.to_int_opt)
+                    in
+                    match (str "rule", num "value", num "limit") with
+                    | Some n, Some v, Some l -> Some (n, v, l, tripped, trips)
+                    | _ -> None)
+                  rules
+            | _ -> []
+          in
+          if slo_rows <> [] then begin
+            Format.printf "@.  %-24s %12s %12s %8s %6s@." "slo rule" "value"
+              "limit" "state" "trips";
+            List.iter
+              (fun (n, v, l, tripped, trips) ->
+                Format.printf "  %-24s %12.4g %12.4g %8s %6d@." n v l
+                  (if tripped then "TRIPPED" else "ok")
+                  trips)
+              slo_rows
+          end;
+          let violations =
+            List.fold_left (fun a (_, _, _, _, t) -> a + t) 0 slo_rows
+          in
+          Format.printf "@.SLO violations: %d@." violations;
+          `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "ASCII dashboard over a flight-recorder directory written by \
+          $(b,incgraph stream --metrics-out): latest counters with deltas \
+          against the previous ring snapshot, gauges, histogram p50/p99 \
+          read off the cumulative Prometheus buckets, and the armed SLO \
+          budgets with their trip state. One-shot and read-only.")
+    Term.(ret (const run $ dir_pos))
 
 (* ---- bench / stats --------------------------------------------------------- *)
-
-module Obs = Core.Obs
 
 let json_flag =
   Arg.(
@@ -502,7 +835,15 @@ let stats_cmd =
             "Also print the per-batch latency and GC/allocation histograms \
              (ASCII bars, one row per non-empty bucket).")
   in
-  let run path backend cls bound args batches size seed json histo =
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Dump the registry in OpenMetrics / Prometheus text exposition \
+             format instead of text or json.")
+  in
+  let run path backend cls bound args batches size seed json histo prom =
     match qspec_of ~cls ~bound ~args with
     | Error e -> `Error (false, e)
     | Ok spec ->
@@ -514,7 +855,8 @@ let stats_cmd =
           Core.Digraph.apply_batch g ups (* keep generator in sync *);
           apply ups
         done;
-        if json then
+        if prom then print_string (Obs.Openmetrics.render o)
+        else if json then
           print_endline (Obs.Json.to_string ~indent:true (Obs.to_json o))
         else begin
           Format.printf "%s after %d batches of %d unit updates:@." inc_name
@@ -546,11 +888,12 @@ let stats_cmd =
          "Drive one incremental session over a random update stream and dump \
           its metrics registry: cost counters (measured |AFF|, |CHANGED|, \
           work counters), span timings and — with $(b,--histogram) — the \
-          per-batch latency and GC histograms, as text or json.")
+          per-batch latency and GC histograms, as text, json or — with \
+          $(b,--prom) — OpenMetrics text exposition.")
     Term.(
       ret
         (const run $ graph_arg $ backend_arg $ cls_arg $ bound_arg $ qargs_arg
-       $ batches $ size_arg $ seed_arg $ json_flag $ histo))
+       $ batches $ size_arg $ seed_arg $ json_flag $ histo $ prom))
 
 (* ---- trace / explain ------------------------------------------------------- *)
 
@@ -1336,6 +1679,7 @@ let () =
             generate_cmd;
             query_cmd;
             stream_cmd;
+            top_cmd;
             fuzz_cmd;
             bench_cmd;
             compare_cmd;

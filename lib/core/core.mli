@@ -47,6 +47,9 @@ module Obs : sig
   module Report = Ig_obs.Report
   module Tracer = Ig_obs.Tracer
   module Trace_export = Ig_obs.Trace_export
+  module Openmetrics = Ig_obs.Openmetrics
+  module Slo = Ig_obs.Slo
+  module Flight = Ig_obs.Flight
 end
 
 module Digraph = Ig_graph.Digraph

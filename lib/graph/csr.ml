@@ -30,6 +30,9 @@
    {!copy} can share the (immutable) base arrays and deep-copy only the
    overlay vectors, making copies O(n) and fully independent. *)
 
+module Obs = Ig_obs.Obs
+module Tracer = Ig_obs.Tracer
+
 type node = int
 type label = Interner.symbol
 
@@ -56,6 +59,14 @@ type t = {
   in_deg : int Vec.t;
   mutable n_edges : int;
   mutable overlay : int; (* live entries across the four overlay tables *)
+  mutable overlay_adds : int; (* live entries in the two add tables *)
+  mutable overlay_dels : int; (* live tombstones in the two del tables *)
+  (* Instrumentation sinks, default noop. Engines attach their registry
+     and tracer at init (via [instrument]) so overlay pressure and
+     compaction cost are observable; [copy] resets both to noop so a
+     scratch/oracle copy never pollutes the engine's registry. *)
+  mutable obs : Obs.t;
+  mutable trace : Tracer.t;
 }
 
 let create ?(hint = 16) () =
@@ -77,6 +88,10 @@ let create ?(hint = 16) () =
       in_deg = Vec.create ();
       n_edges = 0;
       overlay = 0;
+      overlay_adds = 0;
+      overlay_dels = 0;
+      obs = Obs.noop;
+      trace = Tracer.noop;
     }
   in
   let hint = max 1 hint in
@@ -89,11 +104,25 @@ let create ?(hint = 16) () =
   Vec.reserve g.in_deg hint 0;
   g
 
+let instrument g ~obs ~trace =
+  g.obs <- obs;
+  g.trace <- trace
+
+(* Overlay pressure as last-write-wins gauges, refreshed after every
+   mutation; a single branch each under the noop sink. *)
+let note_overlay g =
+  if Obs.enabled g.obs then begin
+    Obs.set_gauge g.obs Obs.K.csr_overlay_add g.overlay_adds;
+    Obs.set_gauge g.obs Obs.K.csr_overlay_del g.overlay_dels
+  end
+
 let interner g = g.interner
 let intern_label g s = Interner.intern g.interner s
 let n_nodes g = Vec.length g.labels
 let n_edges g = g.n_edges
 let overlay_size g = g.overlay
+let overlay_add_size g = g.overlay_adds
+let overlay_del_size g = g.overlay_dels
 let base_nodes g = g.base_n
 
 let mem_node g v = v >= 0 && v < n_nodes g
@@ -211,6 +240,10 @@ let rebuild g (off : ba) (adj : ba) ~adds ~dels ~m =
   (off', adj')
 
 let compact g =
+  (* Read the clock only when a registry is attached: the noop path must
+     stay free of clock syscalls (the zero-overhead acceptance gate). *)
+  let absorbed = g.overlay in
+  let t0 = if Obs.enabled g.obs then Obs.now_ns () else 0L in
   let n = n_nodes g in
   let s_off, s_adj =
     rebuild g g.s_off g.s_adj ~adds:g.succ_add ~dels:g.succ_del ~m:g.n_edges
@@ -229,7 +262,20 @@ let compact g =
     Vec.set g.pred_add v [];
     Vec.set g.pred_del v []
   done;
-  g.overlay <- 0
+  g.overlay <- 0;
+  g.overlay_adds <- 0;
+  g.overlay_dels <- 0;
+  if Obs.enabled g.obs then begin
+    let dt = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) *. 1e-9 in
+    (* Both directions rebuilt: 2 offset arrays of n+1 ints and 2
+       adjacency arrays of m ints, 8 bytes each. *)
+    let bytes = (2 * (n + 1 + g.n_edges)) * 8 in
+    Obs.incr g.obs Obs.K.csr_compactions;
+    Obs.observe g.obs Obs.K.csr_compact_latency dt;
+    Obs.observe g.obs Obs.K.csr_compact_bytes (float_of_int bytes);
+    note_overlay g
+  end;
+  Tracer.compaction g.trace ~edges:g.n_edges ~overlay:absorbed
 
 let maybe_compact g = if g.overlay > max 64 (g.n_edges asr 3) then compact g
 
@@ -244,16 +290,19 @@ let add_edge g u v =
        (* A tombstoned base edge coming back: drop the tombstones. *)
        Vec.set g.succ_del u (remove_sorted v (Vec.get g.succ_del u));
        Vec.set g.pred_del v (remove_sorted u (Vec.get g.pred_del v));
-       g.overlay <- g.overlay - 2
+       g.overlay <- g.overlay - 2;
+       g.overlay_dels <- g.overlay_dels - 2
      end
      else begin
        Vec.set g.succ_add u (insert_sorted v (Vec.get g.succ_add u));
        Vec.set g.pred_add v (insert_sorted u (Vec.get g.pred_add v));
-       g.overlay <- g.overlay + 2
+       g.overlay <- g.overlay + 2;
+       g.overlay_adds <- g.overlay_adds + 2
      end);
     Vec.set g.out_deg u (Vec.get g.out_deg u + 1);
     Vec.set g.in_deg v (Vec.get g.in_deg v + 1);
     g.n_edges <- g.n_edges + 1;
+    note_overlay g;
     maybe_compact g;
     true
   end
@@ -266,16 +315,19 @@ let remove_edge g u v =
     (if mem_sorted v (Vec.get g.succ_add u) then begin
        Vec.set g.succ_add u (remove_sorted v (Vec.get g.succ_add u));
        Vec.set g.pred_add v (remove_sorted u (Vec.get g.pred_add v));
-       g.overlay <- g.overlay - 2
+       g.overlay <- g.overlay - 2;
+       g.overlay_adds <- g.overlay_adds - 2
      end
      else begin
        Vec.set g.succ_del u (insert_sorted v (Vec.get g.succ_del u));
        Vec.set g.pred_del v (insert_sorted u (Vec.get g.pred_del v));
-       g.overlay <- g.overlay + 2
+       g.overlay <- g.overlay + 2;
+       g.overlay_dels <- g.overlay_dels + 2
      end);
     Vec.set g.out_deg u (Vec.get g.out_deg u - 1);
     Vec.set g.in_deg v (Vec.get g.in_deg v - 1);
     g.n_edges <- g.n_edges - 1;
+    note_overlay g;
     maybe_compact g;
     true
   end
@@ -324,4 +376,11 @@ let copy g =
     in_deg = Vec.copy g.in_deg;
     n_edges = g.n_edges;
     overlay = g.overlay;
+    overlay_adds = g.overlay_adds;
+    overlay_dels = g.overlay_dels;
+    (* A copy is a scratch/oracle graph until someone instruments it:
+       inheriting the sinks would double-count compactions and gauges
+       against the original engine's registry. *)
+    obs = Obs.noop;
+    trace = Tracer.noop;
   }

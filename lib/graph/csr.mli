@@ -62,5 +62,18 @@ val overlay_size : t -> int
 (** Live overlay entries (adds + tombstones, both directions); 0 right
     after {!compact}. *)
 
+val overlay_add_size : t -> int
+(** Live entries in the two add overlays. *)
+
+val overlay_del_size : t -> int
+(** Live tombstones in the two del overlays. *)
+
 val base_nodes : t -> int
 (** Nodes covered by the frozen base arrays — how stale the base is. *)
+
+val instrument : t -> obs:Ig_obs.Obs.t -> trace:Ig_obs.Tracer.t -> unit
+(** Attach instrumentation sinks: overlay add/del sizes become gauges,
+    compactions record latency and bytes-copied histograms plus a
+    [Compaction] trace event. Default is noop/noop (a single branch per
+    probe); {!copy} resets the copy's sinks to noop so scratch and
+    oracle copies never pollute the engine's registry. *)

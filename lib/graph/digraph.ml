@@ -159,6 +159,14 @@ let compact = function Hg _ -> () | Cg g -> Csr.compact g
 
 let overlay_size = function Hg _ -> 0 | Cg g -> Csr.overlay_size g
 
+(* Attach instrumentation sinks to the storage layer. The Hashtbl
+   backend has no compaction or overlay to report, so this is a no-op
+   there; on CSR it wires the overlay gauges, compaction histograms and
+   [Compaction] trace events into the engine's registry and tracer. *)
+let instrument ~obs ~trace = function
+  | Hg _ -> ()
+  | Cg g -> Csr.instrument g ~obs ~trace
+
 let interner = function Hg g -> H.interner g | Cg g -> Csr.interner g
 
 let intern_label g s =

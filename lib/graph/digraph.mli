@@ -65,6 +65,13 @@ val compact : t -> unit
 val overlay_size : t -> int
 (** [`Csr]: live overlay entries pending compaction. [`Hashtbl]: 0. *)
 
+val instrument : obs:Ig_obs.Obs.t -> trace:Ig_obs.Tracer.t -> t -> unit
+(** Attach instrumentation sinks to the storage layer. On [`Csr] the
+    overlay add/del sizes become gauges and compactions record latency
+    and bytes-copied histograms plus a [Compaction] trace event; on
+    [`Hashtbl] this is a no-op. {!copy} resets the copy's sinks to noop
+    so scratch and oracle copies never pollute the engine's registry. *)
+
 val add_node : t -> string -> node
 (** Add a fresh node with the given label string. *)
 

@@ -191,6 +191,7 @@ let add_node t label =
   v
 
 let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g p =
+  Digraph.instrument ~obs ~trace g;
   let t =
     {
       g;

@@ -47,12 +47,20 @@ val digest_hex : string -> string
 val scan : path:string -> (scanned, string) result
 (** Read-only recovery scan; see the crash-recovery contract above. *)
 
-val create : path:string -> Record.header -> t
-(** Write magic + header to a fresh file (truncating any existing one). *)
+val create : ?fsync:bool -> path:string -> Record.header -> t
+(** Write magic + header to a fresh file (truncating any existing one).
+    [fsync] (default [true]) makes every {!append} fsync the file, so
+    committed records survive power loss, not just a process crash. *)
 
-val open_append : path:string -> (t * scanned, string) result
+val open_append :
+  ?fsync:bool -> path:string -> unit -> (t * scanned, string) result
 (** Scan, truncate any torn tail in place, and open for appending after
-    the last committed record. *)
+    the last committed record. [fsync] as in {!create}. *)
+
+val instrument : t -> Ig_obs.Obs.t -> unit
+(** Attach a registry: every {!append} records [wal_append_latency_s]
+    and [wal_fsync_latency_s] histograms and the [journal_bytes] gauge.
+    Default is the noop sink. *)
 
 val repair : path:string -> (int, string) result
 (** Truncate a torn tail; returns the number of bytes dropped (0 when the
@@ -64,8 +72,9 @@ val chop : path:string -> int -> unit
 
 val append : t -> kind:Record.kind -> ops:Record.op list -> pre:string ->
   post:string -> Record.batch
-(** Frame and write the next batch (sequence number assigned here) and
-    flush it to the OS before returning. *)
+(** Frame and write the next batch (sequence number assigned here),
+    flush it to the OS and — unless the journal was opened with
+    [~fsync:false] — fsync it before returning. *)
 
 val tip : t -> int
 (** Sequence number of the last committed batch; 0 when none. *)

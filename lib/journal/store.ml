@@ -45,14 +45,17 @@ let rec mkdir_p dir =
 
 let init ?(obs = Obs.noop) ~dir ~header ~client () =
   mkdir_p dir;
-  let snap =
-    Snapshot.of_state ~seq:0 ~graph:(client.graph ())
-      ~answer_digest:(client.answer_digest ())
-      ~certs:(client.certs ())
-  in
-  ignore (Snapshot.save ~dir snap);
+  Obs.with_span obs "snapshot_write" (fun () ->
+      Obs.observe_time obs Obs.K.snapshot_write_latency (fun () ->
+          let snap =
+            Snapshot.of_state ~seq:0 ~graph:(client.graph ())
+              ~answer_digest:(client.answer_digest ())
+              ~certs:(client.certs ())
+          in
+          ignore (Snapshot.save ~dir snap)));
   Obs.incr obs Obs.K.snapshots;
   let journal = Journal.create ~path:(journal_path ~dir) header in
+  Journal.instrument journal obs;
   { dir; journal; client; obs; writable = true }
 
 let plan ?as_of ?(from_scratch = false) ~dir () =
@@ -143,13 +146,17 @@ let attach ?(obs = Obs.noop) ~dir ~plan ~client () =
         | b :: rest -> (
             match replay_one b with Error e -> Error e | Ok () -> replay rest)
       in
-      match Obs.with_span obs "journal_replay" (fun () -> replay plan.replay)
+      match
+        Obs.with_span obs "journal_replay" (fun () ->
+            Obs.observe_time obs Obs.K.journal_replay_latency (fun () ->
+                replay plan.replay))
       with
       | Error e -> Error e
       | Ok () -> (
-          match Journal.open_append ~path:(journal_path ~dir) with
+          match Journal.open_append ~path:(journal_path ~dir) () with
           | Error e -> Error e
           | Ok (journal, _) ->
+              Journal.instrument journal obs;
               let writable = plan.cut = plan.tip in
               Ok { dir; journal; client; obs; writable }))
 
@@ -194,7 +201,8 @@ let do_batch t updates =
 
 let undo t ~k =
   require_writable t "undo";
-  Obs.with_span t.obs "journal_undo" (fun () ->
+  Obs.with_span t.obs "journal_undo" @@ fun () ->
+  Obs.observe_time t.obs Obs.K.journal_undo_latency (fun () ->
       match Journal.plan_undo (Journal.batches t.journal) ~k with
       | Error e -> Error e
       | Ok (ops, expected) ->
@@ -216,7 +224,8 @@ let undo t ~k =
 
 let snapshot t =
   require_writable t "snapshot";
-  Obs.with_span t.obs "snapshot_write" (fun () ->
+  Obs.with_span t.obs "snapshot_write" @@ fun () ->
+  Obs.observe_time t.obs Obs.K.snapshot_write_latency (fun () ->
       let snap =
         Snapshot.of_state ~seq:(Journal.tip t.journal)
           ~graph:(t.client.graph ())

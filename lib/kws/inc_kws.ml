@@ -299,6 +299,7 @@ let add_node t label =
   v
 
 let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g q =
+  Digraph.instrument ~obs ~trace g;
   let kd = Batch.kdist_maps g q in
   let t =
     {

@@ -13,7 +13,8 @@
          outside lib/obs's monotonic clock
      D4  every exported update entry point of an inc_*.ml engine is
          wrapped in Obs.with_apply, and the engine emits rule-tagged
-         tracer events
+         tracer events; the storage entry points of the CSR backend
+         and the durability layer carry at least one Obs probe
      D5  every lib/ module has an interface (.mli)
 
    Being parse-only, D1 is a syntactic approximation: the operators
@@ -146,6 +147,26 @@ let rec app_head e =
   | _ -> e
 
 let d4_entry_points = [ "insert_edge"; "delete_edge"; "apply_batch" ]
+
+(* The storage half of D4: the CSR backend and the durability layer also
+   promise deep instrumentation (DESIGN.md §8.6) — compaction, WAL
+   append/fsync, replay, undo and snapshot latencies all land in the
+   registry. These entry points must carry at least one Obs probe
+   (observe/observe_time/with_span/incr/add/set_gauge, or the enabled
+   gate guarding a hand-rolled clock read) somewhere in their body. *)
+let d4_storage_files =
+  [
+    ("lib/graph/csr.ml", [ "compact" ]);
+    ("lib/journal/journal.ml", [ "append" ]);
+    ( "lib/journal/store.ml",
+      [ "init"; "attach"; "do_batch"; "undo"; "snapshot" ] );
+  ]
+
+let obs_probe_fns =
+  [
+    "observe"; "observe_time"; "with_span"; "with_apply"; "span_begin";
+    "incr"; "add"; "set_gauge"; "enabled";
+  ]
 
 (* ---- the checker ---------------------------------------------------------- *)
 
@@ -335,6 +356,37 @@ let check_d4_binding ctx vb =
              name)
   | _ -> ()
 
+let mentions_obs_probe expr =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match last2 (flatten_longident [] txt) with
+              | Some ("Obs", f) when List.mem f obs_probe_fns ->
+                  found := true
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  !found
+
+let check_d4_storage_binding ctx entries vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt = name; _ }
+    when List.mem name entries && not (mentions_obs_probe vb.pvb_expr) ->
+      emit ctx ~loc:vb.pvb_loc "D4" Error
+        (Printf.sprintf
+           "storage entry point %s carries no Obs probe: CSR/journal \
+            latency and size accounting would miss it"
+           name)
+  | _ -> ()
+
 let structure_item_iter ctx (self : Ast_iterator.iterator) si =
   match si.pstr_desc with
   | Pstr_attribute a ->
@@ -343,6 +395,10 @@ let structure_item_iter ctx (self : Ast_iterator.iterator) si =
       let allows = List.concat_map (fun vb -> allow_rules_of_attrs vb.pvb_attributes) vbs in
       ctx.frames <- allows :: ctx.frames;
       if d4_applies ctx.path then List.iter (check_d4_binding ctx) vbs;
+      (match List.assoc_opt ctx.path d4_storage_files with
+      | Some entries ->
+          List.iter (check_d4_storage_binding ctx entries) vbs
+      | None -> ());
       Ast_iterator.default_iterator.structure_item self si;
       ctx.frames <- List.tl ctx.frames
   | _ -> Ast_iterator.default_iterator.structure_item self si

@@ -1,0 +1,46 @@
+(** Flight recorder: periodic registry snapshots with bounded retention.
+
+    Snapshots the {!Obs} registry every [every] {e applied updates} — a
+    logical cadence, so the snapshot stream is a pure function of the
+    workload and two runs of the same update sequence emit files at the
+    same points (the property @trace-determinism diffs). Each snapshot
+    writes a [metrics-<seq>.prom] exposition into a ring of at most
+    [retain] files, renames the newest into the stable [metrics.prom]
+    scrape target, and appends a [{seq; updates; metrics; slo}] line to
+    [metrics.jsonl] (compacted to the newest [retain] lines whenever it
+    doubles). An armed {!Slo} tracker is evaluated at every snapshot,
+    so trip transitions land in the tracer at snapshot granularity. *)
+
+type t
+
+val create :
+  ?every:int ->
+  ?retain:int ->
+  ?deterministic:bool ->
+  ?slo:Slo.t ->
+  ?trace:Tracer.t ->
+  dir:string ->
+  obs:Obs.t ->
+  unit ->
+  t
+(** [every] defaults to 1 (snapshot each update), [retain] to 32. The
+    directory must already exist. [~deterministic:true] renders the
+    clock-free exposition (see {!Openmetrics.render}) and filters the
+    JSONL metrics the same way. @raise Invalid_argument when [every] or
+    [retain] is below 1. *)
+
+val tick : t -> unit
+(** Count one applied update; snapshots when the cadence comes due. *)
+
+val snapshot : t -> unit
+(** Force a snapshot now (also evaluates the SLO tracker). *)
+
+val dir : t -> string
+
+val updates : t -> int
+(** Updates ticked so far. *)
+
+val snapshots : t -> int
+(** Snapshots written so far. *)
+
+val slo : t -> Slo.t option

@@ -96,6 +96,23 @@ module K = struct
   let gc_minor_words = "gc_minor_words"
   let gc_major_words = "gc_major_words"
   let gc_promoted_words = "gc_promoted_words"
+
+  (* CSR + delta-overlay backend instrumentation (lib/graph/csr.ml). *)
+  let csr_overlay_add = "csr_overlay_add"
+  let csr_overlay_del = "csr_overlay_del"
+  let csr_compactions = "csr_compactions"
+  let csr_compact_latency = "csr_compact_latency_s"
+  let csr_compact_bytes = "csr_compact_bytes"
+
+  (* Durable journal instrumentation (lib/journal). The *_latency names
+     end in [_s] like [apply_latency] so deterministic exports can filter
+     every clock-derived histogram by suffix. *)
+  let wal_append_latency = "wal_append_latency_s"
+  let wal_fsync_latency = "wal_fsync_latency_s"
+  let journal_replay_latency = "journal_replay_latency_s"
+  let journal_undo_latency = "journal_undo_latency_s"
+  let snapshot_write_latency = "snapshot_write_latency_s"
+  let journal_bytes = "journal_bytes"
 end
 
 (* ---- counters ------------------------------------------------------------ *)
@@ -232,6 +249,19 @@ let hist_slot r name =
 
 let observe t name v =
   match t with Noop -> () | Reg r -> Histogram.observe (hist_slot r name) v
+
+(* Time [f] on the monotonic clock into the [name] histogram. Unlike
+   [with_apply] there is no reentrancy guard: each call is one sample.
+   The Noop sink costs one branch and never reads the clock. *)
+let observe_time t name f =
+  match t with
+  | Noop -> f ()
+  | Reg _ ->
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          observe t name (Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9))
+        f
 
 let histogram t name =
   match t with Noop -> None | Reg r -> Hashtbl.find_opt r.histos name

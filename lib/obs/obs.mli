@@ -95,6 +95,39 @@ module K : sig
 
   val gc_promoted_words : string
   (** Histogram of words promoted minor→major per apply/batch call. *)
+
+  val csr_overlay_add : string
+  (** Gauge: edges pending in the CSR add overlay. *)
+
+  val csr_overlay_del : string
+  (** Gauge: edges pending in the CSR delete overlay. *)
+
+  val csr_compactions : string
+  (** Counter: CSR overlay→base rebuilds performed. *)
+
+  val csr_compact_latency : string
+  (** Histogram of seconds per CSR compaction. *)
+
+  val csr_compact_bytes : string
+  (** Histogram of bytes copied per CSR compaction (rebuilt base arrays). *)
+
+  val wal_append_latency : string
+  (** Histogram of seconds per journal frame append (serialize + write). *)
+
+  val wal_fsync_latency : string
+  (** Histogram of seconds per journal fsync. *)
+
+  val journal_replay_latency : string
+  (** Histogram of seconds per recovery replay pass. *)
+
+  val journal_undo_latency : string
+  (** Histogram of seconds per compensating undo batch. *)
+
+  val snapshot_write_latency : string
+  (** Histogram of seconds per certificate snapshot write. *)
+
+  val journal_bytes : string
+  (** Gauge: bytes in the journal file after the last append. *)
 end
 
 (** {2 Counters} — monotonic; negative increments are rejected. *)
@@ -146,6 +179,11 @@ val open_spans : t -> string list
 
 val observe : t -> string -> float -> unit
 (** Record one sample into a named {!Histogram}. *)
+
+val observe_time : t -> string -> (unit -> 'a) -> 'a
+(** Time the thunk on the monotonic clock into the [name] histogram —
+    one sample per call ({!with_apply} minus the GC accounting and the
+    reentrancy guard). On {!noop}: one branch, no clock read. *)
 
 val histogram : t -> string -> Histogram.t option
 (** The live histogram for a name; [None] on {!noop} or before the first

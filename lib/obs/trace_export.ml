@@ -58,6 +58,12 @@ let event_json ~pid ~tid (e : Tracer.entry) =
   | Tracer.Frontier_expand { node } ->
       instant ~name:"frontier_expand" ~cat:"frontier" ~ts ~pid ~tid
         [ ("node", J.Int node) ]
+  | Tracer.Compaction { edges; overlay } ->
+      instant ~name:"compaction" ~cat:"storage" ~ts ~pid ~tid
+        [ ("edges", J.Int edges); ("overlay", J.Int overlay) ]
+  | Tracer.Slo_violation { rule; value; limit } ->
+      instant ~name:"slo_violation" ~cat:"slo" ~ts ~pid ~tid
+        [ ("rule", J.Str rule); ("value", J.Float value); ("limit", J.Float limit) ]
 
 let to_chrome ?(pid = 0) ?(tid = 0) ~name (snap : Tracer.snapshot) =
   let meta =
@@ -149,6 +155,18 @@ let validate json =
                     | None -> where "aff_enter without a rule tag / node"
                   else Ok ()
                 in
+                let* () =
+                  if name = "slo_violation" then
+                    match
+                      Option.bind (J.member "args" e) (fun a ->
+                          match str "rule" a with
+                          | Some r when r <> "" -> Some r
+                          | _ -> None)
+                    with
+                    | Some _ -> Ok ()
+                    | None -> where "slo_violation without a rule tag"
+                  else Ok ()
+                in
                 Ok (i + 1, ts, stack)
         end
   in
@@ -181,6 +199,12 @@ let pp_event ppf (e : Tracer.entry) =
       Format.fprintf ppf "#%-6d span_begin       %s" e.Tracer.seq name
   | Tracer.Span_end name ->
       Format.fprintf ppf "#%-6d span_end         %s" e.Tracer.seq name
+  | Tracer.Compaction { edges; overlay } ->
+      Format.fprintf ppf "#%-6d compaction       edges=%d overlay=%d"
+        e.Tracer.seq edges overlay
+  | Tracer.Slo_violation { rule; value; limit } ->
+      Format.fprintf ppf "#%-6d SLO VIOLATION    rule=%s value=%g limit=%g"
+        e.Tracer.seq rule value limit
 
 (* Histograms first (the provenance summary), then up to [limit] raw
    events. [limit < 0] prints everything. *)
@@ -204,6 +228,18 @@ let pp_explain ?(limit = 20) ppf (snap : Tracer.snapshot) =
       List.iter
         (fun (f, c) -> Format.fprintf ppf "  %-22s %6d@," f c)
         hist);
+  (* SLO breaches are the events an operator is hunting for — surface them
+     even when the raw log below is truncated. *)
+  let violations =
+    List.filter
+      (fun e ->
+        match e.Tracer.event with Tracer.Slo_violation _ -> true | _ -> false)
+      snap.Tracer.entries
+  in
+  if violations <> [] then begin
+    Format.fprintf ppf "SLO violations (%d):@," (List.length violations);
+    List.iter (fun e -> Format.fprintf ppf "  %a@," pp_event e) violations
+  end;
   let shown =
     if limit < 0 || n <= limit then snap.Tracer.entries
     else List.filteri (fun i _ -> i < limit) snap.Tracer.entries

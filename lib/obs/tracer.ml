@@ -81,6 +81,14 @@ type event =
       (* [node] enqueued for (re)settling — one event per queue push. *)
   | Span_begin of string
   | Span_end of string
+  | Compaction of { edges : int; overlay : int }
+      (* A CSR overlay was folded into the frozen base: [edges] in the
+         rebuilt base, [overlay] overlay entries absorbed. Deterministic
+         fields only — the compaction latency goes to the Obs histograms,
+         so traces stay byte-identical across runs. *)
+  | Slo_violation of { rule : string; value : float; limit : float }
+      (* An armed SLO budget tripped at a flight-recorder snapshot:
+         [rule]'s measured [value] exceeded its [limit]. *)
 
 type entry = { seq : int; event : event }
 
@@ -133,6 +141,14 @@ let cert_rewrite t ~node ~field ~before ~after =
 
 let frontier_expand t ~node =
   match t with Noop -> () | Buf b -> push b (Frontier_expand { node })
+
+let compaction t ~edges ~overlay =
+  match t with Noop -> () | Buf b -> push b (Compaction { edges; overlay })
+
+let slo_violation t ~rule ~value ~limit =
+  match t with
+  | Noop -> ()
+  | Buf b -> push b (Slo_violation { rule; value; limit })
 
 let span_begin t name =
   match t with Noop -> () | Buf b -> push b (Span_begin name)

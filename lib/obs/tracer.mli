@@ -60,6 +60,13 @@ type event =
       (** [node] enqueued for (re)settling — one event per queue push. *)
   | Span_begin of string
   | Span_end of string
+  | Compaction of { edges : int; overlay : int }
+      (** A CSR overlay was folded into the frozen base: [edges] in the
+          rebuilt base, [overlay] overlay entries absorbed. Carries only
+          deterministic fields; the latency lives in the Obs histograms. *)
+  | Slo_violation of { rule : string; value : float; limit : float }
+      (** An armed SLO budget tripped at a flight-recorder snapshot:
+          [rule]'s measured [value] exceeded its [limit]. *)
 
 type entry = { seq : int; event : event }
 
@@ -86,6 +93,8 @@ val cert_rewrite :
   t -> node:int -> field:string -> before:string -> after:string -> unit
 
 val frontier_expand : t -> node:int -> unit
+val compaction : t -> edges:int -> overlay:int -> unit
+val slo_violation : t -> rule:string -> value:float -> limit:float -> unit
 val span_begin : t -> string -> unit
 val span_end : t -> string -> unit
 

@@ -357,6 +357,7 @@ let add_node t label =
   u
 
 let init ?(grouped = true) ?(obs = Obs.noop) ?(trace = Tracer.noop) g a =
+  Digraph.instrument ~obs ~trace g;
   let p = Pgraph.make g a in
   let t =
     {

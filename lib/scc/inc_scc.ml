@@ -597,6 +597,7 @@ let apply_batch t updates =
 (* ---- Construction and queries ----------------------------------------- *)
 
 let init ?(config = inc_config) ?(obs = Obs.noop) ?(trace = Tracer.noop) g =
+  Digraph.instrument ~obs ~trace g;
   let n = Digraph.n_nodes g in
   let certs = Vec.create () in
   for _ = 1 to n do

@@ -219,6 +219,7 @@ let apply_batch t updates =
   flush_delta t
 
 let init ?(obs = Obs.noop) ?(trace = Tracer.noop) g p =
+  Digraph.instrument ~obs ~trace g;
   let r = Sim.run p g in
   let out_edges, in_edges = Sim.edge_index p in
   let cnt =

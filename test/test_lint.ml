@@ -126,6 +126,30 @@ let test_d4_instrumentation () =
            \  Tracer.aff_enter t.trace ~node:u ~rule:Tracer.Kws_prune;\n\
            \  ignore v\n")))
 
+(* ---- D4: instrumented storage entry points ----------------------------------- *)
+
+let test_d4_storage () =
+  check (Alcotest.list Alcotest.string) "uninstrumented compact flagged"
+    [ "D4" ]
+    (rules (lint ~path:"lib/graph/csr.ml" "let compact g = ignore g"));
+  check (Alcotest.list Alcotest.string) "probed compact passes" []
+    (rules
+       (lint ~path:"lib/graph/csr.ml"
+          "let compact g = if Obs.enabled g.obs then Obs.incr g.obs \"c\""));
+  check (Alcotest.list Alcotest.string) "uninstrumented append flagged"
+    [ "D4" ]
+    (rules (lint ~path:"lib/journal/journal.ml" "let append t = ignore t"));
+  check (Alcotest.list Alcotest.string) "observe_time counts as a probe" []
+    (rules
+       (lint ~path:"lib/journal/journal.ml"
+          "let append t = Obs.observe_time t.obs \"wal\" (fun () -> ())"));
+  check (Alcotest.list Alcotest.string) "uninstrumented undo flagged" [ "D4" ]
+    (rules (lint ~path:"lib/journal/store.ml" "let undo t ~k = ignore (t, k)"));
+  check (Alcotest.list Alcotest.string) "other files out of scope" []
+    (rules (lint ~path:"lib/graph/digraph.ml" "let compact g = ignore g"));
+  check (Alcotest.list Alcotest.string) "other bindings out of scope" []
+    (rules (lint ~path:"lib/graph/csr.ml" "let add_edge g = ignore g"))
+
 (* ---- suppression ------------------------------------------------------------- *)
 
 let test_suppression () =
@@ -290,6 +314,7 @@ let () =
           Alcotest.test_case "D3 filesystem access" `Quick test_d3_filesystem;
           Alcotest.test_case "D4 instrumentation" `Quick
             test_d4_instrumentation;
+          Alcotest.test_case "D4 storage entry points" `Quick test_d4_storage;
           Alcotest.test_case "syntax errors are diagnostics" `Quick
             test_syntax_error;
         ] );
