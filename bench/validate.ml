@@ -15,7 +15,9 @@
    "traceEvents" key are checked as Chrome trace-event exports
    (Core.Obs.Trace_export.validate: well-formed events, nesting spans,
    monotone timestamps, rule-tagged aff_enter instants); files whose
-   "tool" is "incgraph-lint" as lint reports (Core.Lint.validate); files
+   "tool" is "incgraph-lint" as lint reports (Core.Lint.validate, schema
+   v1 or v2); files whose "tool" is "incgraph-lint-summary" as
+   per-module effect summaries (Core.Lint_summary.validate); files
    whose "tool" is "incgraph-journal-snapshot" as certificate snapshots
    (Core.Journal.Snapshot.validate: structure + self-checksum); everything
    else as a BENCH report. Exits nonzero on the first file that fails to
@@ -33,7 +35,8 @@ module J = Core.Journal
 type kind =
   | Bench of int * int * int * string (* version, experiments, points, backend *)
   | Trace of int
-  | Lint_report of int
+  | Lint_report of int * int (* schema version, diagnostics *)
+  | Lint_summary of string * int * int (* module, exports, globals *)
   | Journal of int * int (* committed batches, total ops *)
   | Snapshot of int * int (* seq, certificate sections *)
   | Prom of int (* samples *)
@@ -81,7 +84,19 @@ let check path =
          = Some "incgraph-lint" -> (
       match Lint.validate json with
       | Error e -> Error (Printf.sprintf "%s: lint-report violation: %s" path e)
-      | Ok n -> Ok (Lint_report n))
+      | Ok (version, n) -> Ok (Lint_report (version, n)))
+  | Ok json
+    when Option.bind (Json.member "tool" json) Json.to_str_opt
+         = Some Core.Lint_summary.tool_name -> (
+      match Core.Lint_summary.validate json with
+      | Error e ->
+          Error (Printf.sprintf "%s: lint-summary violation: %s" path e)
+      | Ok s ->
+          Ok
+            (Lint_summary
+               ( s.Core.Lint_summary.module_name,
+                 List.length s.Core.Lint_summary.exports,
+                 List.length s.Core.Lint_summary.globals )))
   | Ok json
     when Option.bind (Json.member "tool" json) Json.to_str_opt
          = Some J.Snapshot.tool_name -> (
@@ -145,8 +160,13 @@ let () =
             path version n_exp n_pts backend
       | Ok (Trace n) ->
           Printf.printf "%s: valid chrome trace (%d events)\n" path n
-      | Ok (Lint_report n) ->
-          Printf.printf "%s: valid lint report (%d diagnostics)\n" path n
+      | Ok (Lint_report (version, n)) ->
+          Printf.printf "%s: valid lint report (schema v%d, %d diagnostics)\n"
+            path version n
+      | Ok (Lint_summary (m, exports, globals)) ->
+          Printf.printf
+            "%s: valid lint summary (module %s, %d export(s), %d global(s))\n"
+            path m exports globals
       | Ok (Journal (batches, ops)) ->
           Printf.printf "%s: valid journal (%d committed batch(es), %d op(s))\n"
             path batches ops

@@ -1134,6 +1134,8 @@ let compare_cmd =
 
 let lint_cmd =
   let module L = Core.Lint in
+  let module S = Core.Lint_summary in
+  let module I = Core.Lint_interproc in
   let root_arg =
     Arg.(
       value & pos 0 dir "."
@@ -1148,7 +1150,8 @@ let lint_cmd =
           ~doc:
             "Accept the diagnostics recorded in $(docv) (a previous --json \
              report or a dedicated baseline file); only new findings fail \
-             the run."
+             the run. Baseline entries that no longer match any finding are \
+             an error unless $(b,--prune-baseline) rewrites the file."
           ~docv:"FILE")
   in
   let out_arg =
@@ -1158,41 +1161,206 @@ let lint_cmd =
       & info [ "o"; "out" ] ~doc:"Also write the json report to $(docv)."
           ~docv:"FILE")
   in
-  let run root baseline json out =
+  let summaries_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summaries" ]
+          ~doc:
+            "Write the phase-1 per-module summaries (one json file per lib/ \
+             module) into $(docv), creating it if needed."
+          ~docv:"DIR")
+  in
+  let load_summaries_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "load-summaries" ]
+          ~doc:
+            "Skip phase 1: load previously emitted per-module summaries \
+             from $(docv) and run only the cross-module rules (D6-D8) over \
+             them."
+          ~docv:"DIR")
+  in
+  let effect_graph_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "effect-graph" ]
+          ~doc:
+            "Write the module-level effect/dependency graph (Graphviz dot: \
+             one node per lib/ module filled by its worst export effect, \
+             double-bordered when it owns module-scope mutable state) to \
+             $(docv)."
+          ~docv:"FILE")
+  in
+  let prune_arg =
+    Arg.(
+      value & flag
+      & info [ "prune-baseline" ]
+          ~doc:
+            "Rewrite the $(b,--baseline) file without its stale entries \
+             instead of failing on them.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail on warnings and on any baselined finding, not just on \
+             new errors: the gate for a clean tree.")
+  in
+  let summary_file_name (s : S.t) =
+    let base = Filename.remove_extension s.S.path in
+    String.concat ""
+      (List.map
+         (fun c ->
+           if c = '/' || c = '\\' then "__" else String.make 1 c)
+         (List.init (String.length base) (String.get base)))
+    ^ ".json"
+  in
+  let load_summaries dir =
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort String.compare
+    in
+    let rec go acc = function
+      | [] -> Ok (List.sort (fun (a : S.t) b -> compare a.S.path b.S.path) acc)
+      | f :: rest -> (
+          let path = Filename.concat dir f in
+          match
+            Core.Obs.Json.parse
+              (In_channel.with_open_text path In_channel.input_all)
+          with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok j -> (
+              match S.validate j with
+              | Error e -> Error (Printf.sprintf "%s: %s" path e)
+              | Ok s -> go (s :: acc) rest))
+    in
+    go [] files
+  in
+  let run root baseline json out summaries_dir load_dir effect_graph prune
+      strict =
     match Option.map L.load_baseline baseline with
     | Some (Error e) -> `Error (false, "bad baseline: " ^ e)
-    | (None | Some (Ok _)) as b ->
-        let accepted =
-          match b with Some (Ok ds) -> ds | _ -> []
+    | (None | Some (Ok _)) as b -> (
+        let accepted = match b with Some (Ok ds) -> ds | _ -> [] in
+        let result =
+          match load_dir with
+          | None -> Ok (L.run ~root)
+          | Some dir ->
+              Result.map
+                (fun ss ->
+                  let diags, suppressed = I.analyze ss in
+                  {
+                    L.diagnostics = diags;
+                    suppressed;
+                    files_scanned = 0;
+                    summaries = ss;
+                  })
+                (load_summaries dir)
         in
-        let r = L.run ~root in
-        let kept, baselined =
-          L.subtract_baseline ~baseline:accepted r.L.diagnostics
-        in
-        let visible = { r with L.diagnostics = kept } in
-        let report = L.report_to_json ~baselined visible in
-        Option.iter
-          (fun path ->
-            Out_channel.with_open_text path (fun oc ->
-                Out_channel.output_string oc
-                  (Core.Obs.Json.to_string ~indent:true report);
-                Out_channel.output_char oc '\n'))
-          out;
-        if json then
-          print_endline (Core.Obs.Json.to_string ~indent:true report)
-        else begin
-          List.iter (Format.printf "%a@." L.pp_diagnostic) kept;
-          Format.printf
-            "lint: %d file(s), %d finding(s), %d suppressed, %d baselined@."
-            visible.L.files_scanned (List.length kept) visible.L.suppressed
-            baselined
-        end;
-        if kept = [] then `Ok ()
-        else
-          `Error
-            ( false,
-              Printf.sprintf "%d un-baselined lint finding(s)"
-                (List.length kept) )
+        match result with
+        | Error e -> `Error (false, "bad summaries: " ^ e)
+        | Ok r ->
+            let kept, baselined, stale_entries =
+              L.subtract_baseline ~baseline:accepted r.L.diagnostics
+            in
+            let pruned =
+              match (baseline, prune, stale_entries) with
+              | Some path, true, _ :: _ ->
+                  let fresh =
+                    List.filter
+                      (fun bd ->
+                        not
+                          (List.exists
+                             (fun sd -> L.compare_diagnostic sd bd = 0)
+                             stale_entries))
+                      accepted
+                  in
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc
+                        (Core.Obs.Json.to_string ~indent:true
+                           (L.baseline_to_json fresh));
+                      Out_channel.output_char oc '\n');
+                  List.length stale_entries
+              | _ -> 0
+            in
+            let stale = if pruned > 0 then [] else stale_entries in
+            let visible = { r with L.diagnostics = kept } in
+            let report =
+              L.report_to_json ~baselined ~stale:(List.length stale) visible
+            in
+            Option.iter
+              (fun dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                List.iter
+                  (fun s ->
+                    Out_channel.with_open_text
+                      (Filename.concat dir (summary_file_name s)) (fun oc ->
+                        Out_channel.output_string oc
+                          (Core.Obs.Json.to_string ~indent:true (S.to_json s));
+                        Out_channel.output_char oc '\n'))
+                  r.L.summaries)
+              summaries_dir;
+            Option.iter
+              (fun path ->
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc
+                      (I.effect_graph_dot r.L.summaries)))
+              effect_graph;
+            Option.iter
+              (fun path ->
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc
+                      (Core.Obs.Json.to_string ~indent:true report);
+                    Out_channel.output_char oc '\n'))
+              out;
+            if json then
+              print_endline (Core.Obs.Json.to_string ~indent:true report)
+            else begin
+              List.iter (Format.printf "%a@." L.pp_diagnostic) kept;
+              List.iter
+                (fun d ->
+                  Format.printf "stale baseline entry: %a@." L.pp_diagnostic d)
+                stale;
+              Format.printf
+                "lint: %d file(s), %d module summar%s, %d finding(s), %d \
+                 suppressed, %d baselined%s@."
+                visible.L.files_scanned
+                (List.length r.L.summaries)
+                (if List.length r.L.summaries = 1 then "y" else "ies")
+                (List.length kept) visible.L.suppressed baselined
+                (if pruned > 0 then Printf.sprintf ", %d pruned" pruned
+                 else if stale <> [] then
+                   Printf.sprintf ", %d stale" (List.length stale)
+                 else "")
+            end;
+            let errors =
+              List.filter (fun d -> d.L.severity = L.Error) kept
+            in
+            let failing = if strict then kept else errors in
+            if failing <> [] then
+              `Error
+                ( false,
+                  Printf.sprintf "%d un-baselined lint finding(s)"
+                    (List.length failing) )
+            else if stale <> [] then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "%d stale baseline entr%s (rerun with --prune-baseline \
+                     to drop them)"
+                    (List.length stale)
+                    (if List.length stale = 1 then "y" else "ies") )
+            else if strict && baselined > 0 then
+              `Error
+                ( false,
+                  Printf.sprintf "--strict forbids baselined findings (%d)"
+                    baselined )
+            else `Ok ())
   in
   Cmd.v
     (Cmd.info "lint"
@@ -1205,9 +1373,18 @@ let lint_cmd =
           [@lint.allow] (D2), no ambient randomness or wall-clock reads in \
           lib/ outside lib/obs (D3), Obs.with_apply-wrapped and rule-tagged \
           update entry points in every engine (D4), and an .mli for every \
-          lib/ module (D5). Exits non-zero when any un-baselined finding \
-          remains.")
-    Term.(ret (const run $ root_arg $ baseline_arg $ json_flag $ out_arg))
+          lib/ module (D5) — plus the cross-module phase over per-module \
+          effect summaries: no unregistered module-scope mutable state \
+          reachable from the engine/graph/journal modules (D6), all graph \
+          mutation through the Digraph/Csr entry points (D7), and \
+          exception-safe span regions (D8). Exits non-zero on new errors \
+          (plus warnings and baselined findings under $(b,--strict)) or on \
+          stale baseline entries.")
+    Term.(
+      ret
+        (const run $ root_arg $ baseline_arg $ json_flag $ out_arg
+       $ summaries_arg $ load_summaries_arg $ effect_graph_arg $ prune_arg
+       $ strict_arg))
 
 (* ---- fuzz ----------------------------------------------------------------- *)
 

@@ -1,0 +1,65 @@
+(* Shared diagnostic representation for both linter phases.
+
+   The per-file pass (Lint, rules D1-D5) and the interprocedural pass
+   (Interproc, rules D6-D8 over Summary extracts) both report through
+   this type, so baselines, reports and the CLI treat every rule
+   uniformly. *)
+
+module Json = Ig_obs.Json
+
+type severity = Error | Warning
+
+type diagnostic = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
+
+let compare_diagnostic a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s/%s] %s" d.file d.line d.col d.rule
+    (severity_name d.severity) d.message
+
+let to_json d =
+  Json.Obj
+    [
+      ("rule", Json.Str d.rule);
+      ("file", Json.Str d.file);
+      ("line", Json.Int d.line);
+      ("col", Json.Int d.col);
+      ("severity", Json.Str (severity_name d.severity));
+      ("message", Json.Str d.message);
+    ]
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match
+    (str "rule", str "file", int "line", int "col", str "severity",
+     str "message")
+  with
+  | Some rule, Some file, Some line, Some col, Some sev, Some message -> (
+      match severity_of_name sev with
+      | Some severity -> Ok { rule; file; line; col; severity; message }
+      | None -> Stdlib.Error (Printf.sprintf "unknown severity %S" sev))
+  | _ -> Stdlib.Error "diagnostic missing rule/file/line/col/severity/message"

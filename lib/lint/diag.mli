@@ -1,0 +1,25 @@
+(** Shared diagnostic representation for both linter phases (the
+    per-file D1-D5 pass and the interprocedural D6-D8 pass). *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  rule : string;
+  file : string;  (** repo-relative path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  severity : severity;
+  message : string;
+}
+
+val severity_name : severity -> string
+val severity_of_name : string -> severity option
+
+val compare_diagnostic : diagnostic -> diagnostic -> int
+(** Order by (file, line, col, rule). *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** [file:line:col: [rule/severity] message] — one line per finding. *)
+
+val to_json : diagnostic -> Ig_obs.Json.t
+val of_json : Ig_obs.Json.t -> (diagnostic, string) Stdlib.result

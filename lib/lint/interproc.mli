@@ -1,0 +1,36 @@
+(** Phase 2 of the cross-module analyzer: interprocedural rules D6-D8
+    over per-module {!Summary} extracts, plus the module-level
+    effect/dependency graph.
+
+    - [D6] no unregistered module-scope mutable state in lib/ (outside
+      lib/obs, whose registry is the sanctioned home for cross-cutting
+      state). An [Error] when the owning module is reachable from the
+      engine/graph/journal modules — those must be shard-local by
+      construction before any OCaml 5 domain is spawned — and a
+      census [Warning] otherwise. [[@@lint.allow "D6"]] sanctions a
+      deliberate singleton.
+    - [D7] all graph mutation flows through the Digraph/Csr entry
+      points: direct Bigarray-row writes and container mutators that
+      reach adjacency state are flagged outside lib/graph.
+    - [D8] every span region is exception-safe: bare [span_begin]
+      without a [Fun.protect]-guarded [span_end] in the same binding is
+      flagged (the [with_span]/[with_apply] combinators are the
+      sanctioned form). *)
+
+val d6_root : string -> bool
+(** Paths whose modules root the D6 reachability walk (engine dirs +
+    lib/journal). *)
+
+val reachable : Summary.t list -> Set.Make(String).t
+(** Paths of the summarized modules transitively reachable (via the
+    approximate open/call graph) from the D6 roots, roots included. *)
+
+val analyze : Summary.t list -> Diag.diagnostic list * int
+(** Run D6-D8 over the summaries. Returns the sorted diagnostics and
+    the number of [lint.allow]-suppressed findings. *)
+
+val effect_graph_dot : Summary.t list -> string
+(** Graphviz (dot) rendering of the lib/ modules: one node per module
+    labelled with its worst export effect (box fill), double-bordered
+    when the module owns census state, one edge per resolved intra-repo
+    dependency. Byte-deterministic: sorted node and edge order. *)

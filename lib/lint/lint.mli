@@ -21,14 +21,20 @@
       at least one rule-tagged [Tracer.aff_enter].
     - [D5] every lib/ [.ml] has a sibling [.mli].
 
+    On top of the per-file rules, {!run} drives the two-phase
+    cross-module analyzer: {!Summary} extracts per-module facts for
+    every lib/ implementation and {!Interproc} runs the D6-D8 rules
+    over them (unregistered module-scope mutable state, graph mutation
+    outside the Digraph/Csr seam, exception-unsafe span regions).
+
     Suppression: [(expr [@lint.allow "RULE"])] for a subtree,
     [[@@lint.allow "RULE"]] on a binding, [[@@@lint.allow "RULE"]] for
     the rest of the file; all suppressions are counted. A committed
     baseline file can additionally accept specific diagnostics. *)
 
-type severity = Error | Warning
+type severity = Diag.severity = Error | Warning
 
-type diagnostic = {
+type diagnostic = Diag.diagnostic = {
   rule : string;
   file : string;  (** repo-relative path *)
   line : int;  (** 1-based *)
@@ -69,11 +75,16 @@ type result = {
   diagnostics : diagnostic list;
   suppressed : int;
   files_scanned : int;
+  summaries : Summary.t list;
+      (** phase-1 extracts for every lib/ implementation that parsed,
+          sorted by path *)
 }
 
 val run : root:string -> result
 (** Lint the whole tree rooted at [root]: every implementation and
-    interface, plus the D5 filesystem check. *)
+    interface, the D5 filesystem check, then the cross-module phase —
+    {!Summary.of_source} per lib/ [.ml] (with its sibling [.mli] as the
+    export filter) and {!Interproc.analyze} over the lot. *)
 
 val diagnostic_to_json : diagnostic -> Ig_obs.Json.t
 val diagnostic_of_json : Ig_obs.Json.t -> (diagnostic, string) Stdlib.result
@@ -88,15 +99,25 @@ val load_baseline : string -> (diagnostic list, string) Stdlib.result
 (** Parse a baseline file from disk. *)
 
 val subtract_baseline :
-  baseline:diagnostic list -> diagnostic list -> diagnostic list * int
-(** [(kept, matched)]: drop findings accepted by the baseline, matching
-    on every field except severity. *)
+  baseline:diagnostic list ->
+  diagnostic list ->
+  diagnostic list * int * diagnostic list
+(** [(kept, matched, stale)]: drop findings accepted by the baseline,
+    matching on every field except severity. [stale] is the baseline
+    entries that no longer match any finding — dead entries that would
+    silently re-accept a future regression, so the CLI errors on them
+    unless [--prune-baseline] rewrites the file. *)
 
-val report_to_json : ?baselined:int -> result -> Ig_obs.Json.t
+val report_schema_version : int
+(** [2] — v2 adds [modules_summarized], [stale_baseline], [globals]
+    and the [effects] histogram to the v1 report. *)
+
+val report_to_json : ?baselined:int -> ?stale:int -> result -> Ig_obs.Json.t
 (** Machine-readable report:
-    [{tool; schema_version; files_scanned; suppressed; baselined;
+    [{tool; schema_version; files_scanned; modules_summarized;
+    suppressed; baselined; stale_baseline; globals; effects;
     diagnostics}]. *)
 
-val validate : Ig_obs.Json.t -> (int, string) Stdlib.result
-(** Structural check of a lint report (bench/validate.exe); returns the
-    diagnostic count. *)
+val validate : Ig_obs.Json.t -> (int * int, string) Stdlib.result
+(** Structural check of a lint report (bench/validate.exe); accepts
+    schema v1 and v2 and returns [(schema_version, diagnostic count)]. *)

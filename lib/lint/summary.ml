@@ -1,0 +1,1036 @@
+(* Phase 1 of the cross-module analyzer: per-module summaries.
+
+   A parse-only extraction pass (compiler-libs [Parse] + [Ast_iterator])
+   that reduces one .ml file to the facts the interprocedural rules
+   D6-D8 (Interproc) need:
+
+   - the module's top-level *mutable state census*: refs, hash tables,
+     arrays/bytes/bigarrays, buffers, queues, stacks, atomics and
+     mutable-record literals bound at module scope (including inside
+     nested [module X = struct ... end]);
+   - an approximate *open/call graph*: every module name the file
+     references (opens, qualified idents/constructors/types, module
+     aliases), deduplicated and sorted;
+   - an *effect classification* for each exported value — [Pure],
+     [Mutates_argument], [Does_io] or [Mutates_global] — computed from
+     the mutation and I/O primitives its body reaches, closed under
+     intra-module calls ([Does_io]/[Mutates_global] propagate through
+     local calls to a fixpoint; [Mutates_argument] deliberately does
+     not, since argument flow is invisible to a parse-only pass);
+   - *graph-mutation sites* for D7: direct [Bigarray.*.set]-family
+     writes, and container mutators whose target projects an adjacency
+     field ([succ]/[pred]/[by_label]/[adj]) or aliases a value built by
+     a [Digraph.*]/[Csr.*] call;
+   - *span sites* for D8: direct [*.span_begin] calls, with a flag
+     recording whether the enclosing binding also guards a matching
+     [span_end] inside a [Fun.protect ~finally].
+
+   Everything is an approximation of a type-free pass and is documented
+   as such: locals are tracked through a flat, file-ordered alias
+   environment (no scope popping), mutation of locally-allocated state
+   is treated as internal (invisible from outside, hence pure), and
+   unknown mutation targets degrade to mutates-argument, never to
+   silence for the census rules.
+
+   Determinism: all output lists are explicitly sorted; the extractor
+   allocates no hash tables of its own, so summaries are byte-identical
+   across OCAMLRUNPARAM=R hash seeds. *)
+
+module Json = Ig_obs.Json
+open Parsetree
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+let tool_name = "incgraph-lint-summary"
+let schema_version = 1
+
+(* ---- effect lattice -------------------------------------------------------- *)
+
+type effect_class = Pure | Mutates_argument | Does_io | Mutates_global
+
+let effect_name = function
+  | Pure -> "pure"
+  | Mutates_argument -> "mutates-argument"
+  | Does_io -> "does-io"
+  | Mutates_global -> "mutates-global"
+
+let effect_of_name = function
+  | "pure" -> Some Pure
+  | "mutates-argument" -> Some Mutates_argument
+  | "does-io" -> Some Does_io
+  | "mutates-global" -> Some Mutates_global
+  | _ -> None
+
+let effect_rank = function
+  | Pure -> 0
+  | Mutates_argument -> 1
+  | Does_io -> 2
+  | Mutates_global -> 3
+
+let effect_join a b = if effect_rank a >= effect_rank b then a else b
+
+(* What a caller inherits from a local callee: global mutation and I/O
+   are context-independent; argument mutation is not (the caller may be
+   passing freshly-allocated state), so it does not propagate. *)
+let effect_transmissible = function
+  | (Mutates_global | Does_io) as e -> e
+  | Pure | Mutates_argument -> Pure
+
+type global = {
+  g_name : string;
+  g_kind : string;
+  g_line : int;
+  g_col : int;
+  g_allowed : bool;
+}
+
+type export = { x_name : string; x_effect : effect_class; x_line : int }
+
+type graph_mutation = {
+  m_prim : string;
+  m_target : string;
+  m_line : int;
+  m_col : int;
+  m_allowed : bool;
+}
+
+type span_site = {
+  s_fn : string;
+  s_in : string;
+  s_line : int;
+  s_col : int;
+  s_protected : bool;
+  s_allowed : bool;
+}
+
+type t = {
+  module_name : string;
+  path : string;
+  deps : string list;
+  globals : global list;
+  exports : export list;
+  graph_mutations : graph_mutation list;
+  spans : span_site list;
+}
+
+let module_name_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* ---- AST helpers ------------------------------------------------------------ *)
+
+let rec flatten_longident acc = function
+  | Longident.Lident s -> s :: acc
+  | Longident.Ldot (l, s) -> flatten_longident (s :: acc) l
+  | Longident.Lapply (_, l) -> flatten_longident acc l
+
+let last2 comps =
+  match List.rev comps with x :: y :: _ -> Some (y, x) | _ -> None
+
+let last1 comps = match List.rev comps with x :: _ -> Some x | [] -> None
+
+let allow_rules_of_attrs attrs =
+  List.concat_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "lint.allow" then []
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+            [ s ]
+        | _ -> [])
+    attrs
+
+let rec strip_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> strip_constraint e'
+  | _ -> e
+
+let is_function e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | _ -> false
+
+let rec app_head e =
+  match e.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "@@"; _ }; _ },
+        (_, lhs) :: _ ) ->
+      app_head lhs
+  | Pexp_apply (f, _) -> app_head f
+  | _ -> e
+
+let head_comps e =
+  match (app_head e).pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (flatten_longident [] txt)
+  | _ -> None
+
+let rec pat_vars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p', { txt; _ }) -> pat_vars (txt :: acc) p'
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left pat_vars acc ps
+  | Ppat_construct (_, Some (_, p')) | Ppat_variant (_, Some p') ->
+      pat_vars acc p'
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p') -> pat_vars acc p') acc fields
+  | Ppat_or (a, b) -> pat_vars (pat_vars acc a) b
+  | Ppat_constraint (p', _) | Ppat_open (_, p') | Ppat_lazy p' ->
+      pat_vars acc p'
+  | _ -> acc
+
+(* ---- primitive tables -------------------------------------------------------- *)
+
+(* Container mutators, matched on the last two longident components; the
+   mutated value is the first argument (an approximation for blit-style
+   functions, whose source and destination almost always share an
+   origin class). *)
+let mutator_prims =
+  [
+    ("Hashtbl", "replace"); ("Hashtbl", "add"); ("Hashtbl", "remove");
+    ("Hashtbl", "reset"); ("Hashtbl", "clear");
+    ("Hashtbl", "filter_map_inplace");
+    ("Array", "set"); ("Array", "unsafe_set"); ("Array", "fill");
+    ("Array", "blit"); ("Array", "sort"); ("Array", "fast_sort");
+    ("Array", "stable_sort");
+    ("Bytes", "set"); ("Bytes", "unsafe_set"); ("Bytes", "fill");
+    ("Bytes", "blit");
+    ("Buffer", "add_string"); ("Buffer", "add_char"); ("Buffer", "add_bytes");
+    ("Buffer", "add_substring"); ("Buffer", "add_subbytes");
+    ("Buffer", "clear"); ("Buffer", "reset"); ("Buffer", "truncate");
+    ("Queue", "push"); ("Queue", "add"); ("Queue", "pop"); ("Queue", "take");
+    ("Queue", "clear"); ("Queue", "transfer");
+    ("Stack", "push"); ("Stack", "pop"); ("Stack", "clear");
+    ("Atomic", "set"); ("Atomic", "exchange"); ("Atomic", "incr");
+    ("Atomic", "decr"); ("Atomic", "compare_and_set");
+    ("Vec", "push"); ("Vec", "set"); ("Vec", "reserve");
+  ]
+
+(* Mutators whose mutated value is the *last* positional argument (the
+   first is a function), unlike the first-argument convention above. *)
+let last_arg_mutators =
+  [
+    ("Array", "sort"); ("Array", "fast_sort"); ("Array", "stable_sort");
+    ("Hashtbl", "filter_map_inplace");
+  ]
+
+let bigarray_mutators = [ "set"; "unsafe_set"; "fill"; "blit" ]
+
+(* Reads that forward their first argument: the mutated value behind
+   [Hashtbl.replace (Vec.get g.succ u) v ()] is [g.succ]. *)
+let accessor_prims =
+  [
+    ("Vec", "get"); ("Array", "get"); ("Array", "unsafe_get");
+    ("Hashtbl", "find"); ("Hashtbl", "find_opt"); ("Option", "get");
+    ("Option", "value"); ("Bytes", "get"); ("Bigarray", "get");
+  ]
+
+let adjacency_fields = SS.of_list [ "succ"; "pred"; "by_label"; "adj" ]
+
+let io_bare_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes";
+    "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_char";
+    "prerr_int"; "prerr_float"; "prerr_bytes";
+    "read_line"; "read_int"; "read_int_opt"; "read_float";
+    "input_line"; "input_char"; "input_byte"; "input_value";
+    "output_string"; "output_char"; "output_byte"; "output_bytes";
+    "output_value"; "flush"; "flush_all";
+    "open_in"; "open_in_bin"; "open_in_gen";
+    "open_out"; "open_out_bin"; "open_out_gen";
+    "close_in"; "close_out";
+  ]
+
+let io_sys_fns =
+  [
+    "readdir"; "remove"; "rename"; "mkdir"; "rmdir"; "file_exists";
+    "is_directory"; "command"; "getenv"; "getenv_opt"; "time"; "argv";
+  ]
+
+let is_io_head comps =
+  match comps with
+  | [ f ] | [ "Stdlib"; f ] -> List.mem f io_bare_fns
+  | _ -> (
+      match last2 comps with
+      | Some (("Printf" | "Format"), ("printf" | "eprintf" | "fprintf")) ->
+          true
+      | Some (("In_channel" | "Out_channel" | "Unix"), _) -> true
+      | Some ("Sys", f) -> List.mem f io_sys_fns
+      | Some ("Filename", ("temp_file" | "open_temp_file")) -> true
+      | _ -> false)
+
+(* Module-scope allocation kinds for the mutable-state census.
+   [mutable_fields] holds the record fields this file declares mutable,
+   so a top-level record literal writing one is caught too. *)
+let classify_alloc ~mutable_fields e =
+  let e = strip_constraint e in
+  match e.pexp_desc with
+  | Pexp_array _ -> Some "array"
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (({ txt; _ } : Longident.t Location.loc), _) ->
+             match last1 (flatten_longident [] txt) with
+             | Some f -> SS.mem f mutable_fields
+             | None -> false)
+           fields ->
+      Some "mutable-record"
+  | Pexp_apply _ -> (
+      match head_comps e with
+      | Some ([ "ref" ] | [ "Stdlib"; "ref" ]) -> Some "ref"
+      | Some comps when List.mem "Bigarray" comps -> (
+          match last1 comps with
+          | Some ("create" | "init" | "of_array") -> Some "bigarray"
+          | _ -> None)
+      | Some comps -> (
+          match last2 comps with
+          | Some ("Hashtbl", "create") -> Some "hashtbl"
+          | Some ("Buffer", "create") -> Some "buffer"
+          | Some ("Queue", "create") -> Some "queue"
+          | Some ("Stack", "create") -> Some "stack"
+          | Some ("Atomic", "make") -> Some "atomic"
+          | Some ("Vec", "create") -> Some "vec"
+          | Some ("Array", ("make" | "init" | "create_float" | "of_list")) ->
+              Some "array"
+          | Some ("Bytes", ("create" | "make" | "of_string")) -> Some "bytes"
+          | _ -> None)
+      | None -> None)
+  | _ -> None
+
+(* ---- origin tracking --------------------------------------------------------- *)
+
+(* Where a mutated value comes from, as far as a parse-only alias walk
+   can tell. [Fresh] state is allocated locally and invisible outside;
+   [Graph] state was built by a [Digraph.*]/[Csr.*] call. *)
+type origin = Param | Fresh | Graph | Global | Foreign | Unknown
+
+type bctx = {
+  globals_in_scope : SS.t;  (* module-scope mutable state names (bare) *)
+  top_bare : SS.t;  (* bare names of all top-level bindings *)
+  mutable env : origin SM.t;  (* flat, file-ordered local environment *)
+  mutable direct : effect_class;
+  mutable callees : SS.t;  (* bare local callees, for the fixpoint *)
+  mutable mutations : (string * string * Location.t * bool) list;
+  mutable span_calls : (string * Location.t * bool) list;
+  mutable allow_frames : string list list;
+}
+
+let bctx_allowed b rule = List.exists (List.mem rule) b.allow_frames
+
+(* Resolve a mutation target: origin of its root, a printable path, and
+   every record field the chain projects (for the adjacency check). *)
+let rec resolve b e =
+  let e = strip_constraint e in
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } ->
+      let o =
+        match SM.find_opt x b.env with
+        | Some o -> o
+        | None -> if SS.mem x b.globals_in_scope then Global else Unknown
+      in
+      (o, x, SS.empty)
+  | Pexp_ident { txt; _ } ->
+      (Foreign, String.concat "." (flatten_longident [] txt), SS.empty)
+  | Pexp_field (e', { txt; _ }) ->
+      let o, p, fs = resolve b e' in
+      let f = Option.value ~default:"?" (last1 (flatten_longident [] txt)) in
+      (o, p ^ "." ^ f, SS.add f fs)
+  | Pexp_apply (_, (_, a0) :: _) -> (
+      match head_comps e with
+      | Some comps
+        when (match last2 comps with
+             | Some t -> List.mem t accessor_prims
+             | None -> false)
+             || List.mem "Bigarray" comps ->
+          resolve b a0
+      | _ -> (Unknown, "<expr>", SS.empty))
+  | _ -> (Unknown, "<expr>", SS.empty)
+
+(* Origin of a let-bound local, for the alias environment. *)
+let classify_rhs b ~mutable_fields e =
+  let e = strip_constraint e in
+  if classify_alloc ~mutable_fields e <> None then Fresh
+  else
+    match head_comps e with
+    | Some comps
+      when List.exists (fun c -> c = "Digraph" || c = "Csr") comps ->
+        Graph
+    | _ -> (
+        match e.pexp_desc with
+        | Pexp_ident _ | Pexp_field _ | Pexp_apply _ ->
+            let o, _, fs = resolve b e in
+            if not (SS.is_empty (SS.inter fs adjacency_fields)) then Graph
+            else o
+        | _ -> Unknown)
+
+let note_mutation b ~prim ~target loc =
+  let o, path, fields = resolve b target in
+  (match o with
+  | Global | Foreign -> b.direct <- effect_join b.direct Mutates_global
+  | Fresh -> ()
+  | Param | Unknown | Graph ->
+      b.direct <- effect_join b.direct Mutates_argument);
+  let adjacency = not (SS.is_empty (SS.inter fields adjacency_fields)) in
+  let bigarray = String.length prim >= 8 && String.sub prim 0 8 = "Bigarray" in
+  if bigarray || adjacency || o = Graph then
+    b.mutations <-
+      (prim, path, loc, bctx_allowed b "D7") :: b.mutations
+
+(* Does [e] contain a [Fun.protect] whose [~finally] mentions a
+   [span_end]? One flag per top-level binding: a begin/end pair split
+   across protected and unprotected regions of the same body is beyond
+   a parse-only pass, and in-tree spans go through the combinators. *)
+let protects_span_end e =
+  let found = ref false in
+  let rec mentions_span_end e =
+    let m = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } -> (
+                match last1 (flatten_longident [] txt) with
+                | Some "span_end" -> m := true
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it e;
+    !m
+  and check self e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+        match head_comps { e with pexp_desc = Pexp_apply (f, args) } with
+        | Some comps when last1 comps = Some "protect" ->
+            if
+              List.exists
+                (fun (l, a) ->
+                  l = Asttypes.Labelled "finally" && mentions_span_end a)
+                args
+            then found := true
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr = check } in
+  it.expr it e;
+  !found
+
+(* ---- the per-binding walker --------------------------------------------------- *)
+
+let binding_iterator b ~mutable_fields =
+  let expr (self : Ast_iterator.iterator) e =
+    b.allow_frames <- allow_rules_of_attrs e.pexp_attributes :: b.allow_frames;
+    (match e.pexp_desc with
+    | Pexp_fun (_, _, pat, _) ->
+        List.iter
+          (fun v -> b.env <- SM.add v Param b.env)
+          (pat_vars [] pat)
+    | Pexp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match pat_vars [] vb.pvb_pat with
+            | [ v ] ->
+                b.env <-
+                  SM.add v (classify_rhs b ~mutable_fields vb.pvb_expr) b.env
+            | vs -> List.iter (fun v -> b.env <- SM.add v Unknown b.env) vs)
+          vbs
+    | Pexp_setfield (target, { txt; _ }, _) ->
+        let f =
+          Option.value ~default:"?" (last1 (flatten_longident [] txt))
+        in
+        (* Rebuild the full projected path by resolving the record, then
+           appending the assigned field. *)
+        let o, p, fields = resolve b target in
+        (match o with
+        | Global | Foreign -> b.direct <- effect_join b.direct Mutates_global
+        | Fresh -> ()
+        | Param | Unknown | Graph ->
+            b.direct <- effect_join b.direct Mutates_argument);
+        let fields = SS.add f fields in
+        if
+          (not (SS.is_empty (SS.inter fields adjacency_fields))) || o = Graph
+        then
+          b.mutations <-
+            ("<-", p ^ "." ^ f, e.pexp_loc, bctx_allowed b "D7")
+            :: b.mutations
+    | Pexp_apply _ -> (
+        match head_comps e with
+        | Some ([ ":=" ] | [ "Stdlib"; ":=" ]) -> (
+            match e.pexp_desc with
+            | Pexp_apply (_, (_, lhs) :: _) ->
+                note_mutation b ~prim:":=" ~target:lhs e.pexp_loc
+            | _ -> ())
+        | Some ([ ("incr" | "decr") ] | [ "Stdlib"; ("incr" | "decr") ]) -> (
+            match e.pexp_desc with
+            | Pexp_apply (_, (_, a0) :: _) ->
+                note_mutation b ~prim:":=" ~target:a0 e.pexp_loc
+            | _ -> ())
+        | Some comps -> (
+            let prim_name () = String.concat "." comps in
+            (if is_io_head comps then
+               b.direct <- effect_join b.direct Does_io);
+            (match last1 comps with
+            | Some "span_begin" ->
+                b.span_calls <-
+                  (prim_name (), e.pexp_loc, bctx_allowed b "D8")
+                  :: b.span_calls
+            | _ -> ());
+            (match comps with
+            | [ f ] when SS.mem f b.top_bare ->
+                b.callees <- SS.add f b.callees
+            | _ -> ());
+            match e.pexp_desc with
+            | Pexp_apply (_, ((_, a0) :: _ as args)) ->
+                let mut =
+                  match last2 comps with
+                  | Some t when List.mem t mutator_prims ->
+                      Some (String.concat "." [ fst t; snd t ])
+                  | _ ->
+                      if
+                        List.mem "Bigarray" comps
+                        && (match last1 comps with
+                           | Some f -> List.mem f bigarray_mutators
+                           | None -> false)
+                      then Some (String.concat "." comps)
+                      else None
+                in
+                let target =
+                  match last2 comps with
+                  | Some t when List.mem t last_arg_mutators -> (
+                      (* [Array.sort cmp a] mutates [a], not [cmp]. *)
+                      match
+                        List.filter_map
+                          (function
+                            | Asttypes.Nolabel, a -> Some a | _ -> None)
+                          args
+                        |> List.rev
+                      with
+                      | last :: _ -> last
+                      | [] -> a0)
+                  | _ -> a0
+                in
+                Option.iter
+                  (fun prim -> note_mutation b ~prim ~target e.pexp_loc)
+                  mut
+            | _ -> ())
+        | None -> ())
+    | Pexp_ident { txt = Longident.Lident f; _ } when SS.mem f b.top_bare ->
+        (* A first-class reference to a sibling binding also links the
+           call graph ([List.iter visit nodes]). *)
+        b.callees <- SS.add f b.callees
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e;
+    b.allow_frames <- List.tl b.allow_frames
+  in
+  { Ast_iterator.default_iterator with expr }
+
+(* ---- deps collection ----------------------------------------------------------- *)
+
+let collect_deps str =
+  let deps = ref SS.empty in
+  let add_li txt =
+    match flatten_longident [] txt with
+    | first :: _ :: _ -> deps := SS.add first !deps
+    | _ -> ()
+  in
+  let rec add_mod_expr me =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> (
+        match flatten_longident [] txt with
+        | first :: _ -> deps := SS.add first !deps
+        | [] -> ())
+    | Pmod_apply (a, b) -> add_mod_expr a; add_mod_expr b
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } | Pexp_construct ({ txt; _ }, _)
+          | Pexp_field (_, { txt; _ }) | Pexp_setfield (_, { txt; _ }, _)
+          | Pexp_new { txt; _ } ->
+              add_li txt
+          | Pexp_open (od, _) -> add_mod_expr od.popen_expr
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      typ =
+        (fun self ty ->
+          (match ty.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) | Ptyp_class ({ txt; _ }, _) ->
+              add_li txt
+          | _ -> ());
+          Ast_iterator.default_iterator.typ self ty);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_open od -> add_mod_expr od.popen_expr
+          | Pstr_module mb -> add_mod_expr mb.pmb_expr
+          | Pstr_include i -> add_mod_expr i.pincl_mod
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item self si);
+    }
+  in
+  it.structure it str;
+  !deps
+
+(* ---- structure walk ------------------------------------------------------------ *)
+
+type binding_info = {
+  bi_full : string;  (* nested-module-qualified name *)
+  bi_bare : string;
+  bi_line : int;
+  bi_direct : effect_class;
+  bi_callees : SS.t;
+}
+
+let of_structure ~path ?vals str =
+  let module_name = module_name_of_path path in
+  (* pass 0: declared mutable record fields, top-level binding names,
+     file-level allows, and the module-scope mutable-state census. *)
+  let mutable_fields = ref SS.empty in
+  let top_bare = ref SS.empty in
+  let file_allows = ref [] in
+  let globals = ref [] in
+  let rec pass0 prefix items =
+    List.iter
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_attribute a -> file_allows := allow_rules_of_attrs [ a ] @ !file_allows
+        | Pstr_type (_, tds) ->
+            List.iter
+              (fun td ->
+                match td.ptype_kind with
+                | Ptype_record lds ->
+                    List.iter
+                      (fun ld ->
+                        if ld.pld_mutable = Asttypes.Mutable then
+                          mutable_fields :=
+                            SS.add ld.pld_name.txt !mutable_fields)
+                      lds
+                | _ -> ())
+              tds
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt = name; _ } ->
+                    top_bare := SS.add name !top_bare;
+                    if not (is_function vb.pvb_expr) then (
+                      match
+                        classify_alloc ~mutable_fields:!mutable_fields
+                          (strip_constraint vb.pvb_expr)
+                      with
+                      | Some kind ->
+                          let p = vb.pvb_loc.Location.loc_start in
+                          let allowed =
+                            List.mem "D6"
+                              (allow_rules_of_attrs vb.pvb_attributes)
+                            || List.mem "D6" !file_allows
+                          in
+                          globals :=
+                            {
+                              g_name = prefix ^ name;
+                              g_kind = kind;
+                              g_line = p.pos_lnum;
+                              g_col = p.pos_cnum - p.pos_bol;
+                              g_allowed = allowed;
+                            }
+                            :: !globals
+                      | None -> ())
+                | _ -> ())
+              vbs
+        | Pstr_module { pmb_name = { txt = Some m; _ };
+                        pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+            pass0 (prefix ^ m ^ ".") s
+        | _ -> ())
+      items
+  in
+  pass0 "" str;
+  let globals_in_scope =
+    List.fold_left
+      (fun acc g ->
+        match String.rindex_opt g.g_name '.' with
+        | Some i ->
+            SS.add (String.sub g.g_name (i + 1)
+                      (String.length g.g_name - i - 1)) acc
+        | None -> SS.add g.g_name acc)
+      SS.empty !globals
+  in
+  (* pass 1: per-binding effect atoms, graph mutations and span sites. *)
+  let infos = ref [] in
+  let mutations = ref [] in
+  let spans = ref [] in
+  let rec pass1 prefix items =
+    List.iter
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt = name; _ } ->
+                    let b =
+                      {
+                        globals_in_scope;
+                        top_bare = !top_bare;
+                        env = SM.empty;
+                        direct = Pure;
+                        callees = SS.empty;
+                        mutations = [];
+                        span_calls = [];
+                        allow_frames =
+                          [
+                            allow_rules_of_attrs vb.pvb_attributes
+                            @ !file_allows;
+                          ];
+                      }
+                    in
+                    let it =
+                      binding_iterator b ~mutable_fields:!mutable_fields
+                    in
+                    it.expr it vb.pvb_expr;
+                    let protected = protects_span_end vb.pvb_expr in
+                    let p = vb.pvb_loc.Location.loc_start in
+                    infos :=
+                      {
+                        bi_full = prefix ^ name;
+                        bi_bare = name;
+                        bi_line = p.pos_lnum;
+                        bi_direct = b.direct;
+                        bi_callees = SS.remove name b.callees;
+                      }
+                      :: !infos;
+                    List.iter
+                      (fun (prim, target, (loc : Location.t), allowed) ->
+                        let p = loc.loc_start in
+                        mutations :=
+                          {
+                            m_prim = prim;
+                            m_target = target;
+                            m_line = p.pos_lnum;
+                            m_col = p.pos_cnum - p.pos_bol;
+                            m_allowed = allowed;
+                          }
+                          :: !mutations)
+                      b.mutations;
+                    List.iter
+                      (fun (fn, (loc : Location.t), allowed) ->
+                        let p = loc.loc_start in
+                        spans :=
+                          {
+                            s_fn = fn;
+                            s_in = prefix ^ name;
+                            s_line = p.pos_lnum;
+                            s_col = p.pos_cnum - p.pos_bol;
+                            s_protected = protected;
+                            s_allowed = allowed;
+                          }
+                          :: !spans)
+                      b.span_calls
+                | _ -> ())
+              vbs
+        | Pstr_module { pmb_name = { txt = Some m; _ };
+                        pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+            pass1 (prefix ^ m ^ ".") s
+        | _ -> ())
+      items
+  in
+  pass1 "" str;
+  (* effect fixpoint over local calls (Does_io / Mutates_global only). *)
+  let infos = List.rev !infos in
+  let eff = ref SM.empty in
+  List.iter (fun i -> eff := SM.add i.bi_full i.bi_direct !eff) infos;
+  let by_bare =
+    List.fold_left
+      (fun acc i ->
+        SM.update i.bi_bare
+          (fun l -> Some (i.bi_full :: Option.value ~default:[] l))
+          acc)
+      SM.empty infos
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        let cur = SM.find i.bi_full !eff in
+        let next =
+          SS.fold
+            (fun callee acc ->
+              List.fold_left
+                (fun acc full ->
+                  effect_join acc
+                    (effect_transmissible (SM.find full !eff)))
+                acc
+                (Option.value ~default:[] (SM.find_opt callee by_bare)))
+            i.bi_callees cur
+        in
+        if next <> cur then begin
+          eff := SM.add i.bi_full next !eff;
+          changed := true
+        end)
+      infos
+  done;
+  (* exports: .mli val names when available, else all root-level
+     bindings. *)
+  let exports =
+    match vals with
+    | Some names ->
+        List.filter_map
+          (fun n ->
+            List.find_map
+              (fun i ->
+                if i.bi_full = n then
+                  Some
+                    {
+                      x_name = n;
+                      x_effect = SM.find i.bi_full !eff;
+                      x_line = i.bi_line;
+                    }
+                else None)
+              infos)
+          (List.sort_uniq String.compare names)
+    | None ->
+        List.filter_map
+          (fun i ->
+            if String.contains i.bi_full '.' then None
+            else
+              Some
+                {
+                  x_name = i.bi_full;
+                  x_effect = SM.find i.bi_full !eff;
+                  x_line = i.bi_line;
+                })
+          infos
+        |> List.sort (fun a b -> String.compare a.x_name b.x_name)
+  in
+  let deps = SS.remove module_name (collect_deps str) in
+  {
+    module_name;
+    path;
+    deps = SS.elements deps;
+    globals =
+      List.sort
+        (fun a b ->
+          match Int.compare a.g_line b.g_line with
+          | 0 -> String.compare a.g_name b.g_name
+          | c -> c)
+        !globals;
+    exports;
+    graph_mutations =
+      List.sort
+        (fun a b ->
+          match Int.compare a.m_line b.m_line with
+          | 0 -> Int.compare a.m_col b.m_col
+          | c -> c)
+        !mutations;
+    spans =
+      List.sort
+        (fun a b ->
+          match Int.compare a.s_line b.s_line with
+          | 0 -> Int.compare a.s_col b.s_col
+          | c -> c)
+        !spans;
+  }
+
+let vals_of_interface sg =
+  List.filter_map
+    (fun si ->
+      match si.psig_desc with
+      | Psig_value vd -> Some vd.pval_name.txt
+      | _ -> None)
+    sg
+
+let of_source ~path ?intf source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+      Stdlib.Error
+        (Printf.sprintf "%s does not parse: %s" path (Printexc.to_string exn))
+  | str ->
+      let vals =
+        Option.bind intf (fun src ->
+            let lb = Lexing.from_string src in
+            Location.init lb (path ^ "i");
+            match Parse.interface lb with
+            | exception _ -> None
+            | sg -> Some (vals_of_interface sg))
+      in
+      Ok (of_structure ~path ?vals str)
+
+(* ---- JSON ----------------------------------------------------------------------- *)
+
+let to_json s =
+  Json.Obj
+    [
+      ("tool", Json.Str tool_name);
+      ("schema_version", Json.Int schema_version);
+      ("module", Json.Str s.module_name);
+      ("path", Json.Str s.path);
+      ("deps", Json.Arr (List.map (fun d -> Json.Str d) s.deps));
+      ( "globals",
+        Json.Arr
+          (List.map
+             (fun g ->
+               Json.Obj
+                 [
+                   ("name", Json.Str g.g_name);
+                   ("kind", Json.Str g.g_kind);
+                   ("line", Json.Int g.g_line);
+                   ("col", Json.Int g.g_col);
+                   ("allowed", Json.Bool g.g_allowed);
+                 ])
+             s.globals) );
+      ( "exports",
+        Json.Arr
+          (List.map
+             (fun x ->
+               Json.Obj
+                 [
+                   ("name", Json.Str x.x_name);
+                   ("effect", Json.Str (effect_name x.x_effect));
+                   ("line", Json.Int x.x_line);
+                 ])
+             s.exports) );
+      ( "graph_mutations",
+        Json.Arr
+          (List.map
+             (fun m ->
+               Json.Obj
+                 [
+                   ("prim", Json.Str m.m_prim);
+                   ("target", Json.Str m.m_target);
+                   ("line", Json.Int m.m_line);
+                   ("col", Json.Int m.m_col);
+                   ("allowed", Json.Bool m.m_allowed);
+                 ])
+             s.graph_mutations) );
+      ( "spans",
+        Json.Arr
+          (List.map
+             (fun sp ->
+               Json.Obj
+                 [
+                   ("fn", Json.Str sp.s_fn);
+                   ("in", Json.Str sp.s_in);
+                   ("line", Json.Int sp.s_line);
+                   ("col", Json.Int sp.s_col);
+                   ("protected", Json.Bool sp.s_protected);
+                   ("allowed", Json.Bool sp.s_allowed);
+                 ])
+             s.spans) );
+    ]
+
+let of_json j =
+  let str k o = Option.bind (Json.member k o) Json.to_str_opt in
+  let int k o = Option.bind (Json.member k o) Json.to_int_opt in
+  let boolean k o =
+    match Json.member k o with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  let list k o = Option.bind (Json.member k o) Json.to_list_opt in
+  let ( let* ) = Option.bind in
+  let decode () =
+    let* module_name = str "module" j in
+    let* path = str "path" j in
+    let* deps = list "deps" j in
+    let* deps =
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* s = Json.to_str_opt d in
+          Some (s :: acc))
+        (Some []) deps
+      |> Option.map List.rev
+    in
+    let* gl = list "globals" j in
+    let* globals =
+      List.fold_left
+        (fun acc g ->
+          let* acc = acc in
+          let* g_name = str "name" g in
+          let* g_kind = str "kind" g in
+          let* g_line = int "line" g in
+          let* g_col = int "col" g in
+          let* g_allowed = boolean "allowed" g in
+          Some ({ g_name; g_kind; g_line; g_col; g_allowed } :: acc))
+        (Some []) gl
+      |> Option.map List.rev
+    in
+    let* xs = list "exports" j in
+    let* exports =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          let* x_name = str "name" x in
+          let* e = str "effect" x in
+          let* x_effect = effect_of_name e in
+          let* x_line = int "line" x in
+          Some ({ x_name; x_effect; x_line } :: acc))
+        (Some []) xs
+      |> Option.map List.rev
+    in
+    let* ms = list "graph_mutations" j in
+    let* graph_mutations =
+      List.fold_left
+        (fun acc m ->
+          let* acc = acc in
+          let* m_prim = str "prim" m in
+          let* m_target = str "target" m in
+          let* m_line = int "line" m in
+          let* m_col = int "col" m in
+          let* m_allowed = boolean "allowed" m in
+          Some ({ m_prim; m_target; m_line; m_col; m_allowed } :: acc))
+        (Some []) ms
+      |> Option.map List.rev
+    in
+    let* sps = list "spans" j in
+    let* spans =
+      List.fold_left
+        (fun acc sp ->
+          let* acc = acc in
+          let* s_fn = str "fn" sp in
+          let* s_in = str "in" sp in
+          let* s_line = int "line" sp in
+          let* s_col = int "col" sp in
+          let* s_protected = boolean "protected" sp in
+          let* s_allowed = boolean "allowed" sp in
+          Some
+            ({ s_fn; s_in; s_line; s_col; s_protected; s_allowed } :: acc))
+        (Some []) sps
+      |> Option.map List.rev
+    in
+    Some { module_name; path; deps; globals; exports; graph_mutations; spans }
+  in
+  match str "tool" j with
+  | Some t when t <> tool_name ->
+      Stdlib.Error (Printf.sprintf "tool %S, expected %S" t tool_name)
+  | _ -> (
+      match int "schema_version" j with
+      | Some v when v <> schema_version ->
+          Stdlib.Error
+            (Printf.sprintf "summary schema_version %d, expected %d" v
+               schema_version)
+      | None -> Stdlib.Error "missing integer \"schema_version\""
+      | Some _ -> (
+          match decode () with
+          | Some s -> Ok s
+          | None ->
+              Stdlib.Error
+                "summary missing or ill-typed \
+                 module/path/deps/globals/exports/graph_mutations/spans"))
+
+let validate j = of_json j

@@ -1,0 +1,82 @@
+(** Phase 1 of the cross-module analyzer: per-module summaries.
+
+    A parse-only extraction (compiler-libs [Parse] + [Ast_iterator])
+    reducing one implementation to the facts the interprocedural rules
+    D6-D8 ({!Interproc}) need: the module-scope mutable-state census,
+    an approximate open/call graph, an effect classification for each
+    exported value, graph-mutation sites and span sites. Everything is
+    a documented approximation of a type-free pass; all output lists
+    are sorted and the extractor allocates no hash tables, so summaries
+    are byte-identical across [OCAMLRUNPARAM=R] hash seeds. *)
+
+val tool_name : string
+(** ["incgraph-lint-summary"] — the ["tool"] field of summary files. *)
+
+val schema_version : int
+
+(** Effect lattice, ordered [Pure < Mutates_argument < Does_io <
+    Mutates_global]. A value gets the strongest effect its body (and,
+    for the two context-independent effects, any local callee) reaches. *)
+type effect_class = Pure | Mutates_argument | Does_io | Mutates_global
+
+val effect_name : effect_class -> string
+val effect_of_name : string -> effect_class option
+
+val effect_join : effect_class -> effect_class -> effect_class
+(** The stronger of the two. *)
+
+type global = {
+  g_name : string;  (** nested-module-qualified binding name *)
+  g_kind : string;
+      (** ["ref"], ["hashtbl"], ["array"], ["bigarray"],
+          ["mutable-record"], ... *)
+  g_line : int;
+  g_col : int;
+  g_allowed : bool;  (** carries [[@@lint.allow "D6"]] *)
+}
+
+type export = { x_name : string; x_effect : effect_class; x_line : int }
+
+type graph_mutation = {
+  m_prim : string;  (** the mutating primitive, e.g. ["Hashtbl.replace"] *)
+  m_target : string;  (** printable path of the mutated value *)
+  m_line : int;
+  m_col : int;
+  m_allowed : bool;  (** carries [[@lint.allow "D7"]] *)
+}
+
+type span_site = {
+  s_fn : string;  (** e.g. ["Obs.span_begin"] *)
+  s_in : string;  (** enclosing top-level binding *)
+  s_line : int;
+  s_col : int;
+  s_protected : bool;
+      (** the binding guards a [span_end] in [Fun.protect ~finally] *)
+  s_allowed : bool;  (** carries [[@lint.allow "D8"]] *)
+}
+
+type t = {
+  module_name : string;  (** capitalized file basename *)
+  path : string;  (** repo-relative *)
+  deps : string list;  (** referenced module names, sorted, deduped *)
+  globals : global list;
+  exports : export list;
+      (** [.mli] val names when an interface is supplied, else every
+          root-level binding *)
+  graph_mutations : graph_mutation list;
+  spans : span_site list;
+}
+
+val module_name_of_path : string -> string
+
+val of_source :
+  path:string -> ?intf:string -> string -> (t, string) Stdlib.result
+(** Summarize one implementation given its repo-relative [path], the
+    optional source text of its [.mli] (restricts [exports]) and its
+    own source text. [Error] when the implementation does not parse. *)
+
+val to_json : t -> Ig_obs.Json.t
+val of_json : Ig_obs.Json.t -> (t, string) Stdlib.result
+
+val validate : Ig_obs.Json.t -> (t, string) Stdlib.result
+(** Structural check of an on-disk summary file (bench/validate.exe). *)

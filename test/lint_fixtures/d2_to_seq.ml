@@ -1,0 +1,6 @@
+(* D2 violation (the to_seq gap): Hashtbl.to_seq enumerates in hash
+   order just like Hashtbl.iter, so it is flagged the same way. Linted
+   by test/test_lint.ml under a simulated lib/ path. Expect exactly one
+   D2 error. *)
+
+let keys t = List.of_seq (Hashtbl.to_seq t)

@@ -1,0 +1,6 @@
+(* D6 non-violation: a deliberate singleton carrying the sanctioning
+   annotation. Expect no finding and one suppression. *)
+
+let interner = Hashtbl.create 16 [@@lint.allow "D6"]
+
+let find s = Hashtbl.find_opt interner s

@@ -1,0 +1,11 @@
+(* D6 non-violation: the engine-idiom alternative — mutable state owned
+   by a record the caller builds, no module-scope cell. Expect no
+   finding. *)
+
+type t = { table : (string, int) Hashtbl.t; mutable count : int }
+
+let create () = { table = Hashtbl.create 16; count = 0 }
+
+let bump t s =
+  t.count <- t.count + 1;
+  Hashtbl.replace t.table s t.count

@@ -1,0 +1,10 @@
+(* D6 violation: module-scope mutable state in an engine-reachable
+   module. Linted by test/test_lint.ml under a simulated lib/kws/ path,
+   where the hidden counter would be shared by every domain of a
+   sharded engine. Expect exactly one D6 error. *)
+
+let hits = ref 0
+
+let bump () =
+  incr hits;
+  !hits

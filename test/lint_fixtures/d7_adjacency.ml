@@ -1,0 +1,7 @@
+(* D7 violation: a container mutator reaching an adjacency projection
+   ([.succ]) of a value that escaped lib/graph. Expect exactly one D7
+   error. *)
+
+type g = { succ : (int, int list) Hashtbl.t }
+
+let link g u vs = Hashtbl.replace g.succ u vs

@@ -1,0 +1,5 @@
+(* D7 violation: a direct Bigarray row poke outside lib/graph — the CSR
+   representation write that must go through the Csr entry points.
+   Expect exactly one D7 error. *)
+
+let poke row v = Bigarray.Array1.set row 0 v

@@ -1,0 +1,8 @@
+(* D7 non-violation: mutating locally allocated scratch state is the
+   engines' bread and butter and must stay invisible. Expect no
+   finding. *)
+
+let scratch n =
+  let t = Hashtbl.create n in
+  Hashtbl.replace t 0 1;
+  Hashtbl.length t

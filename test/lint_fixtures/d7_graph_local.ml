@@ -1,0 +1,8 @@
+(* D7 violation: mutating a value built by a Digraph entry point with a
+   raw container primitive instead of the backend's own operations.
+   Expect exactly one D7 error. *)
+
+let rewire () =
+  let g = Digraph.create () in
+  Hashtbl.replace g 0 1;
+  g

@@ -1,0 +1,8 @@
+(* D8 violation: a span opened with no exception-safe close — a raising
+   rewrite rule would leak the span and misnest every later span_end.
+   Expect exactly one D8 error. *)
+
+let update obs g =
+  Obs.span_begin obs "update";
+  ignore g;
+  Obs.span_end obs "update"

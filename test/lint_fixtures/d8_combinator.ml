@@ -1,0 +1,5 @@
+(* D8 non-violation: the sanctioned combinator form — no bare
+   span_begin at all, the region lives inside Obs.with_apply. Expect no
+   finding. *)
+
+let update obs g x = Obs.with_apply obs ~rule:"fixture" (fun () -> ignore (g, x))

@@ -1,0 +1,8 @@
+(* D8 non-violation: the span_end is guarded by Fun.protect ~finally, so
+   the region closes on every exit path. Expect no finding. *)
+
+let update obs g =
+  Obs.span_begin obs "update";
+  Fun.protect
+    ~finally:(fun () -> Obs.span_end obs "update")
+    (fun () -> ignore g)

@@ -1,9 +1,15 @@
 (* Tests for the determinism & instrumentation linter (lib/lint): one
    fixture per rule D1-D5, the three suppression shapes, baseline and
-   report JSON round-trips, and a clean-tree integration run over the
-   build copy of the repo's own sources. *)
+   report JSON round-trips, a clean-tree integration run over the build
+   copy of the repo's own sources, and the cross-module phase — effect
+   classification, summary JSON round-trips, the D6-D8 battery over
+   test/lint_fixtures/ (each violating fixture fires exactly one
+   diagnostic with the right rule tag) and in-process report
+   byte-determinism (the cross-process run is @lint-determinism). *)
 
 module L = Ig_lint.Lint
+module S = Ig_lint.Summary
+module I = Ig_lint.Interproc
 module J = Ig_obs.Json
 
 let check = Alcotest.check
@@ -275,24 +281,75 @@ let test_baseline_roundtrip () =
       | Error e -> Alcotest.fail ("baseline decode failed: " ^ e)
       | Ok ds ->
           check Alcotest.bool "round-trips exactly" true (ds = sample_diags);
-          let kept, matched = L.subtract_baseline ~baseline:ds sample_diags in
+          let kept, matched, stale =
+            L.subtract_baseline ~baseline:ds sample_diags
+          in
           check Alcotest.int "baseline swallows all" 0 (List.length kept);
           check Alcotest.int "matched count" 2 matched;
+          check Alcotest.int "no stale entries" 0 (List.length stale);
           let fresh = { (List.hd sample_diags) with L.line = 43 } in
-          let kept, matched =
+          let kept, matched, stale =
             L.subtract_baseline ~baseline:ds (fresh :: sample_diags)
           in
           check Alcotest.int "moved finding resurfaces" 1 (List.length kept);
-          check Alcotest.int "others still matched" 2 matched)
+          check Alcotest.int "others still matched" 2 matched;
+          check Alcotest.int "still no stale entries" 0 (List.length stale);
+          (* A baseline entry whose finding is gone is reported stale. *)
+          let kept, matched, stale =
+            L.subtract_baseline ~baseline:ds [ List.hd sample_diags ]
+          in
+          check Alcotest.int "nothing new" 0 (List.length kept);
+          check Alcotest.int "one still matched" 1 matched;
+          check Alcotest.int "one stale" 1 (List.length stale);
+          check Alcotest.string "the vanished entry is the stale one"
+            "lib/rpq/pgraph.ml"
+            (List.hd stale).L.file)
 
 let test_report_validates () =
   let r =
-    { L.diagnostics = sample_diags; suppressed = 5; files_scanned = 103 }
+    {
+      L.diagnostics = sample_diags;
+      suppressed = 5;
+      files_scanned = 103;
+      summaries = [];
+    }
   in
   let json = L.report_to_json ~baselined:1 r in
   (match L.validate json with
-  | Ok n -> check Alcotest.int "diagnostic count" 2 n
+  | Ok (v, n) ->
+      check Alcotest.int "schema version" L.report_schema_version v;
+      check Alcotest.int "diagnostic count" 2 n
   | Error e -> Alcotest.fail ("fresh report rejected: " ^ e));
+  (* v1 reports (no phase-2 aggregates) stay accepted. *)
+  (match
+     L.validate
+       (J.Obj
+          [
+            ("tool", J.Str "incgraph-lint");
+            ("schema_version", J.Int 1);
+            ("files_scanned", J.Int 10);
+            ("suppressed", J.Int 0);
+            ("diagnostics", J.Arr []);
+          ])
+   with
+  | Ok (v, n) ->
+      check Alcotest.int "v1 version" 1 v;
+      check Alcotest.int "v1 count" 0 n
+  | Error e -> Alcotest.fail ("v1 report rejected: " ^ e));
+  (* ...but a report *claiming* v2 without the aggregates is rejected. *)
+  (match
+     L.validate
+       (J.Obj
+          [
+            ("tool", J.Str "incgraph-lint");
+            ("schema_version", J.Int 2);
+            ("files_scanned", J.Int 10);
+            ("suppressed", J.Int 0);
+            ("diagnostics", J.Arr []);
+          ])
+   with
+  | Ok _ -> Alcotest.fail "validator accepted a gutted v2 report"
+  | Error _ -> ());
   (match L.validate (J.Obj [ ("tool", J.Str "incgraph-lint") ]) with
   | Ok _ -> Alcotest.fail "validator accepted a gutted report"
   | Error _ -> ());
@@ -301,6 +358,179 @@ let test_report_validates () =
   with
   | Ok _ -> Alcotest.fail "validator accepted a foreign tool"
   | Error _ -> ()
+
+(* ---- cross-module phase: summaries ------------------------------------------- *)
+
+let summarize ?intf ~path src =
+  match S.of_source ~path ?intf src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "summary extraction failed for %s: %s" path e
+
+(* dune runtest runs from _build/default/test; dune exec from the root. *)
+let read_fixture name =
+  let dir =
+    if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+    else Filename.concat "test" "lint_fixtures"
+  in
+  In_channel.with_open_text (Filename.concat dir name) In_channel.input_all
+
+let export_effect s name =
+  match
+    List.find_opt (fun (x : S.export) -> x.S.x_name = name) s.S.exports
+  with
+  | Some x -> S.effect_name x.S.x_effect
+  | None -> Alcotest.failf "export %s missing from summary" name
+
+let effect_src =
+  "let count t = Hashtbl.length t\n\
+   let bump r = incr r\n\
+   let log x = print_endline x\n\
+   let g = ref 0 [@@lint.allow \"D6\"]\n\
+   let poke () = g := 1\n\
+   let chain () = poke ()\n"
+
+let test_effect_classification () =
+  let s = summarize ~path:"lib/kws/fx.ml" effect_src in
+  check Alcotest.string "read-only is pure" "pure" (export_effect s "count");
+  check Alcotest.string "incr on a param mutates the argument"
+    "mutates-argument" (export_effect s "bump");
+  check Alcotest.string "print is io" "does-io" (export_effect s "log");
+  check Alcotest.string "writing a module-scope ref mutates global state"
+    "mutates-global" (export_effect s "poke");
+  check Alcotest.string
+    "mutates-global transmits through the local call fixpoint"
+    "mutates-global" (export_effect s "chain");
+  (* An interface restricts the export list. *)
+  let s = summarize ~path:"lib/kws/fx.ml" ~intf:"val count : 'a -> int" effect_src in
+  check
+    (Alcotest.list Alcotest.string)
+    "mli filters exports" [ "count" ]
+    (List.map (fun (x : S.export) -> x.S.x_name) s.S.exports);
+  (* Mutating locally allocated state stays invisible. *)
+  let s =
+    summarize ~path:"lib/kws/fx.ml"
+      "let scratch n =\n\
+      \  let t = Hashtbl.create n in\n\
+      \  Hashtbl.replace t 0 1;\n\
+      \  Hashtbl.length t\n"
+  in
+  check Alcotest.string "fresh-state mutation is pure" "pure"
+    (export_effect s "scratch");
+  (* Array.sort mutates its *last* argument, not the compare function. *)
+  let s =
+    summarize ~path:"lib/kws/fx.ml"
+      "let sorted l =\n\
+      \  let a = Array.of_list l in\n\
+      \  Array.sort Int.compare a;\n\
+      \  a\n"
+  in
+  check Alcotest.string "sorting a fresh array is pure" "pure"
+    (export_effect s "sorted")
+
+let test_summary_roundtrip () =
+  let src = read_fixture "d7_adjacency.ml" in
+  let s = summarize ~path:"lib/kws/d7_adjacency.ml" src in
+  check Alcotest.bool "summary has the mutation" true
+    (s.S.graph_mutations <> []);
+  let json = S.to_json s in
+  (match J.parse (J.to_string ~indent:true json) with
+  | Error e -> Alcotest.fail ("summary reparse failed: " ^ e)
+  | Ok j -> (
+      match S.of_json j with
+      | Error e -> Alcotest.fail ("summary decode failed: " ^ e)
+      | Ok s' -> check Alcotest.bool "round-trips exactly" true (s = s')));
+  (match S.validate json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("validator rejected a fresh summary: " ^ e));
+  match S.validate (J.Obj [ ("tool", J.Str S.tool_name) ]) with
+  | Ok _ -> Alcotest.fail "validator accepted a gutted summary"
+  | Error _ -> ()
+
+(* ---- cross-module phase: the D6-D8 fixture battery ---------------------------- *)
+
+(* Each fixture is analyzed under a simulated lib/kws/ path — an engine
+   directory, i.e. a D6-reachability root — and must produce exactly
+   the expected (rules, suppressed) outcome. *)
+let fixture_outcome ?(dir = "lib/kws/") name =
+  let src = read_fixture name in
+  let s = summarize ~path:(dir ^ name) src in
+  let ds, supp = I.analyze [ s ] in
+  (List.map (fun (d : L.diagnostic) -> d.L.rule) ds, supp)
+
+let check_fixture ?dir name (rules, supp) =
+  let got = fixture_outcome ?dir name in
+  check
+    (Alcotest.pair (Alcotest.list Alcotest.string) Alcotest.int)
+    name (rules, supp) got
+
+let test_d6_fixtures () =
+  check_fixture "d6_global_ref.ml" ([ "D6" ], 0);
+  check_fixture "d6_allowed.ml" ([], 1);
+  check_fixture "d6_clean.ml" ([], 0);
+  (* The same global in a module *not* reachable from the engine roots
+     is a census warning, not an error. *)
+  let src = read_fixture "d6_global_ref.ml" in
+  let s = summarize ~path:"lib/theory/d6_global_ref.ml" src in
+  (match I.analyze [ s ] with
+  | [ d ], 0 ->
+      check Alcotest.string "still D6" "D6" d.L.rule;
+      check Alcotest.bool "census severity is warning" true
+        (d.L.severity = L.Warning)
+  | ds, _ -> Alcotest.failf "expected one census warning, got %d" (List.length ds));
+  (* ...and errors again once an engine module depends on it. *)
+  let user =
+    summarize ~path:"lib/kws/uses.ml" "let f () = D6_global_ref.bump ()"
+  in
+  match I.analyze [ s; user ] with
+  | [ d ], 0 -> check Alcotest.bool "reachable now: error" true (d.L.severity = L.Error)
+  | ds, _ -> Alcotest.failf "expected one error, got %d" (List.length ds)
+
+let test_d7_fixtures () =
+  check_fixture "d7_bigarray.ml" ([ "D7" ], 0);
+  check_fixture "d7_adjacency.ml" ([ "D7" ], 0);
+  check_fixture "d7_graph_local.ml" ([ "D7" ], 0);
+  check_fixture "d7_clean.ml" ([], 0);
+  (* Inside lib/graph the same writes are the backend's own business. *)
+  check_fixture ~dir:"lib/graph/" "d7_adjacency.ml" ([], 0);
+  (* An annotated site is suppressed, and counted. *)
+  let s =
+    summarize ~path:"lib/kws/annotated.ml"
+      "type g = { succ : (int, int list) Hashtbl.t }\n\
+       let link g u vs = (Hashtbl.replace g.succ u vs [@lint.allow \"D7\"])\n"
+  in
+  check
+    (Alcotest.pair (Alcotest.list Alcotest.string) Alcotest.int)
+    "annotated D7 site" ([], 1)
+    (let ds, supp = I.analyze [ s ] in
+     (List.map (fun (d : L.diagnostic) -> d.L.rule) ds, supp))
+
+let test_d8_fixtures () =
+  check_fixture "d8_bare_span.ml" ([ "D8" ], 0);
+  check_fixture "d8_protected.ml" ([], 0);
+  check_fixture "d8_combinator.ml" ([], 0)
+
+let test_d2_to_seq_fixture () =
+  let src = read_fixture "d2_to_seq.ml" in
+  check
+    (Alcotest.list Alcotest.string)
+    "to_seq flagged under lib/" [ "D2" ]
+    (rules (lint ~path:"lib/kws/d2_to_seq.ml" src))
+
+(* Two full runs over the repo tree must render byte-identical reports
+   (the list orders and json emission are all explicitly sorted). The
+   cross-process, cross-hash-seed version of this check is the
+   @lint-determinism alias. *)
+let test_report_determinism () =
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
+    let render () =
+      let r = L.run ~root:".." in
+      J.to_string ~indent:true (L.report_to_json r)
+    in
+    let a = render () and b = render () in
+    check Alcotest.string "byte-identical reports" a b;
+    let dot () = I.effect_graph_dot (L.run ~root:"..").L.summaries in
+    check Alcotest.string "byte-identical effect graphs" (dot ()) (dot ())
+  end
 
 let () =
   Alcotest.run "lint"
@@ -331,5 +561,22 @@ let () =
           Alcotest.test_case "baseline round-trip" `Quick
             test_baseline_roundtrip;
           Alcotest.test_case "report validates" `Quick test_report_validates;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "effect classification" `Quick
+            test_effect_classification;
+          Alcotest.test_case "summary round-trip" `Quick
+            test_summary_roundtrip;
+        ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "D6 fixtures" `Quick test_d6_fixtures;
+          Alcotest.test_case "D7 fixtures" `Quick test_d7_fixtures;
+          Alcotest.test_case "D8 fixtures" `Quick test_d8_fixtures;
+          Alcotest.test_case "D2 to_seq fixture" `Quick
+            test_d2_to_seq_fixture;
+          Alcotest.test_case "report determinism" `Quick
+            test_report_determinism;
         ] );
     ]
